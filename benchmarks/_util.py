@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures at a reduced
+sweep size (so the whole suite runs in minutes on a laptop) and prints the
+series it produced.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+For the full-size sweeps use ``python -m repro.experiments.run all``.
+"""
+
+from __future__ import annotations
+
+
+def single_run(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The underlying experiments are deterministic simulations, so repeated
+    rounds would only re-measure identical work; one round keeps the suite
+    fast while still recording a wall-clock figure per experiment.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Three ablations exercise knobs the paper discusses:
+
+* receive-queue capacity (the CNI16Q -> CNI512Q progression: extra buffering
+  smooths bursts),
+* data snarfing on the CNI16Qm receive path (Section 5.1.2),
+* the hardware sliding-window depth (end-point flow control).
+"""
+
+import pytest
+
+from _util import single_run
+from repro.common.params import DEFAULT_PARAMS
+from repro.experiments.microbench import bandwidth, round_trip_latency
+from repro.node.machine import Machine
+from repro.node.node import NodeConfig
+
+
+def _stream_cycles(machine, payload_bytes=244, count=60):
+    ml0, ml1 = machine.messaging[0], machine.messaging[1]
+    state = {"received": 0}
+    ml1.register_handler(
+        "data", lambda ml, s, n, b: state.__setitem__("received", state["received"] + 1)
+    )
+
+    def sender():
+        for _ in range(count):
+            yield from ml0.send_active_message(1, "data", payload_bytes)
+
+    def receiver():
+        while state["received"] < count:
+            got = yield from ml1.poll()
+            if not got:
+                yield 20
+
+    return machine.run_programs([sender(), receiver()], max_cycles=900_000_000)
+
+
+def test_ablation_queue_capacity(benchmark):
+    """Larger device-homed cachable queues absorb bursts better."""
+
+    def sweep():
+        results = {}
+        for blocks in (8, 16, 64, 512):
+            machine = Machine(
+                num_nodes=2,
+                node_config=NodeConfig(
+                    ni_name="CNI16Q",
+                    ni_kwargs={"send_queue_blocks": blocks, "recv_queue_blocks": blocks},
+                ),
+            )
+            results[blocks] = _stream_cycles(machine)
+        return results
+
+    results = single_run(benchmark, sweep)
+    print("\nQueue-capacity ablation (cycles to stream 60 messages): "
+          + ", ".join(f"{k} blocks={v}" for k, v in results.items()))
+    # A 16-entry (64-block) queue comfortably beats a 2-entry (8-block) one;
+    # 512 blocks is reported but not asserted because a 60-message stream
+    # never warms a 128-entry queue (every block access stays a cold miss).
+    assert results[64] <= results[8]
+
+
+def test_ablation_data_snarfing(benchmark):
+    """Snarfing the CNI16Qm writebacks reduces receive-side read misses."""
+
+    def sweep():
+        plain = bandwidth("CNI16Qm", "memory", 2048, messages=40, warmup=10, snarfing=False)
+        snarf = bandwidth("CNI16Qm", "memory", 2048, messages=40, warmup=10, snarfing=True)
+        return plain.bandwidth_mbps, snarf.bandwidth_mbps
+
+    plain_mbps, snarf_mbps = single_run(benchmark, sweep)
+    print(f"\nSnarfing ablation: without {plain_mbps:.1f} MB/s, with {snarf_mbps:.1f} MB/s")
+    assert snarf_mbps >= plain_mbps * 0.95  # snarfing never hurts materially
+
+
+def test_ablation_sliding_window(benchmark):
+    """Deeper hardware windows raise achievable bandwidth until other costs
+    dominate."""
+
+    def sweep():
+        results = {}
+        for window in (1, 2, 4, 8):
+            params = DEFAULT_PARAMS.with_overrides(sliding_window=window)
+            machine = Machine.build("CNI512Q", "memory", num_nodes=2, params=params)
+            results[window] = _stream_cycles(machine)
+        return results
+
+    results = single_run(benchmark, sweep)
+    print("\nSliding-window ablation (cycles to stream 60 messages): "
+          + ", ".join(f"w={k}: {v}" for k, v in results.items()))
+    assert results[4] <= results[1]
+
+
+def test_ablation_device_placement(benchmark):
+    """The same device gets slower moving from the memory bus to the I/O bus."""
+
+    def sweep():
+        mem = round_trip_latency("CNI512Q", "memory", 64, iterations=10, warmup=4)
+        io = round_trip_latency("CNI512Q", "io", 64, iterations=10, warmup=4)
+        return mem.round_trip_us, io.round_trip_us
+
+    mem_us, io_us = single_run(benchmark, sweep)
+    print(f"\nPlacement ablation (64-byte RTT): memory bus {mem_us:.2f} us, I/O bus {io_us:.2f} us")
+    assert io_us > mem_us

@@ -1,0 +1,28 @@
+"""Section 5.2 claim: CQ-based CNIs cut memory-bus occupancy by up to ~66 %
+(five-benchmark average) versus NI2w; CNI4 by roughly a quarter."""
+
+import pytest
+
+from _util import single_run
+from repro.experiments.macro import bus_occupancy_reduction
+
+NUM_NODES = 8
+SCALE = 0.25
+WORKLOADS = ("spsolve", "em3d", "moldyn")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_memory_bus_occupancy_reduction(benchmark, workload):
+    reductions = single_run(
+        benchmark,
+        bus_occupancy_reduction,
+        workload,
+        ("NI2w", "CNI4", "CNI512Q", "CNI16Qm"),
+        NUM_NODES,
+        SCALE,
+    )
+    print(f"\n[{workload}] memory-bus occupancy reduction vs NI2w: "
+          + ", ".join(f"{k}={v:.0%}" for k, v in reductions.items()))
+    # CQ-based CNIs reduce occupancy substantially more than CNI4.
+    assert reductions["CNI512Q"] > 0.2
+    assert reductions["CNI512Q"] > reductions["CNI4"]

@@ -1,0 +1,67 @@
+"""Figure 6: process-to-process round-trip latency vs message size.
+
+Panels: (a) all five devices on the memory bus, (b) the four I/O-bus-capable
+devices on the I/O bus, (c) the best device per bus (NI2w on the cache bus,
+CNI16Qm on the memory bus, CNI512Q on the I/O bus).
+"""
+
+import pytest
+
+from _util import single_run
+from repro.experiments import report
+from repro.experiments.macro import IO_BUS_DEVICES, MEMORY_BUS_DEVICES
+from repro.experiments.microbench import round_trip_latency
+
+#: Reduced sweep (the full Figure 6 axis is 8-256 bytes).
+SIZES = (8, 64, 256)
+ITERATIONS = 12
+WARMUP = 6
+
+
+def _sweep(device, bus):
+    return {
+        size: round_trip_latency(
+            device, bus, size, iterations=ITERATIONS, warmup=WARMUP
+        ).round_trip_us
+        for size in SIZES
+    }
+
+
+@pytest.mark.parametrize("device", MEMORY_BUS_DEVICES)
+def test_fig6a_memory_bus_latency(benchmark, device):
+    series = single_run(benchmark, _sweep, device, "memory")
+    assert all(value > 0 for value in series.values())
+    print()
+    print(report.format_series_panel({device: series}, f"Figure 6a [memory bus] {device} (us)"))
+
+
+@pytest.mark.parametrize("device", IO_BUS_DEVICES)
+def test_fig6b_io_bus_latency(benchmark, device):
+    series = single_run(benchmark, _sweep, device, "io")
+    assert all(value > 0 for value in series.values())
+    print()
+    print(report.format_series_panel({device: series}, f"Figure 6b [I/O bus] {device} (us)"))
+
+
+@pytest.mark.parametrize(
+    "device,bus", [("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")]
+)
+def test_fig6c_alternate_buses_latency(benchmark, device, bus):
+    series = single_run(benchmark, _sweep, device, bus)
+    print()
+    print(report.format_series_panel({f"{device}@{bus}": series}, "Figure 6c [alternate buses] (us)"))
+
+
+def test_fig6_headline_claim_cni_faster_than_ni2w(benchmark):
+    """CNIs improve 64-byte round-trip latency over NI2w on the memory bus."""
+
+    def claim():
+        ni2w = round_trip_latency("NI2w", "memory", 64, iterations=10, warmup=4)
+        cni = round_trip_latency("CNI512Q", "memory", 64, iterations=10, warmup=4)
+        return ni2w.round_trip_us, cni.round_trip_us
+
+    ni2w_us, cni_us = single_run(benchmark, claim)
+    improvement = ni2w_us / cni_us - 1.0
+    print(f"\n64-byte RTT: NI2w {ni2w_us:.2f} us, CNI512Q {cni_us:.2f} us "
+          f"(improvement {improvement:.0%}; paper reports 37%)")
+    assert cni_us < ni2w_us

@@ -1,0 +1,73 @@
+"""Figure 7: process-to-process bandwidth vs message size.
+
+Bandwidth is reported as a fraction of the bandwidth two processors on the
+same coherent memory bus can sustain through a local cachable queue, as in
+the paper.  Includes the CNI16Qm-with-snarfing series of Figure 7a.
+"""
+
+import pytest
+
+from _util import single_run
+from repro.experiments import report
+from repro.experiments.macro import IO_BUS_DEVICES, MEMORY_BUS_DEVICES
+from repro.experiments.microbench import bandwidth
+
+#: Reduced sweep (the full Figure 7 axis is 8-4096 bytes).
+SIZES = (64, 512, 2048)
+MESSAGES = 40
+WARMUP = 10
+
+
+def _sweep(device, bus, snarfing=False):
+    return {
+        size: bandwidth(
+            device, bus, size, messages=MESSAGES, warmup=WARMUP, snarfing=snarfing
+        ).relative_bandwidth
+        for size in SIZES
+    }
+
+
+@pytest.mark.parametrize("device", MEMORY_BUS_DEVICES)
+def test_fig7a_memory_bus_bandwidth(benchmark, device):
+    series = single_run(benchmark, _sweep, device, "memory")
+    assert all(value > 0 for value in series.values())
+    print()
+    print(report.format_series_panel({device: series}, f"Figure 7a [memory bus] {device} (relative)"))
+
+
+def test_fig7a_cni16qm_with_snarfing(benchmark):
+    series = single_run(benchmark, _sweep, "CNI16Qm", "memory", True)
+    print()
+    print(report.format_series_panel({"CNI16Qm+snarf": series}, "Figure 7a [memory bus] snarfing (relative)"))
+
+
+@pytest.mark.parametrize("device", IO_BUS_DEVICES)
+def test_fig7b_io_bus_bandwidth(benchmark, device):
+    series = single_run(benchmark, _sweep, device, "io")
+    assert all(value > 0 for value in series.values())
+    print()
+    print(report.format_series_panel({device: series}, f"Figure 7b [I/O bus] {device} (relative)"))
+
+
+@pytest.mark.parametrize(
+    "device,bus", [("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")]
+)
+def test_fig7c_alternate_buses_bandwidth(benchmark, device, bus):
+    series = single_run(benchmark, _sweep, device, bus)
+    print()
+    print(report.format_series_panel({f"{device}@{bus}": series}, "Figure 7c [alternate buses] (relative)"))
+
+
+def test_fig7_headline_claim_cni_bandwidth_gain(benchmark):
+    """CNIs improve achievable bandwidth for 64-byte messages over NI2w."""
+
+    def claim():
+        ni2w = bandwidth("NI2w", "memory", 64, messages=40, warmup=10)
+        cni = bandwidth("CNI512Q", "memory", 64, messages=40, warmup=10)
+        return ni2w.bandwidth_mbps, cni.bandwidth_mbps
+
+    ni2w_mbps, cni_mbps = single_run(benchmark, claim)
+    gain = cni_mbps / ni2w_mbps - 1.0
+    print(f"\n64-byte bandwidth: NI2w {ni2w_mbps:.1f} MB/s, CNI512Q {cni_mbps:.1f} MB/s "
+          f"(improvement {gain:.0%}; paper reports 125% at 64 bytes)")
+    assert cni_mbps > ni2w_mbps

@@ -1,0 +1,33 @@
+"""Regenerates Tables 1-4 of the paper (device summary, bus occupancy,
+macrobenchmark summary, related-work comparison)."""
+
+from _util import single_run
+from repro.experiments import report, tables
+
+
+def test_table1_device_summary(benchmark):
+    rows = single_run(benchmark, tables.table1_device_summary)
+    assert len(rows) == 5
+    print()
+    print(report.format_table(rows, "Table 1: Network interface devices"))
+
+
+def test_table2_bus_occupancy(benchmark):
+    rows = single_run(benchmark, tables.table2_bus_occupancy)
+    assert rows[0]["memory_bus"] == 28
+    print()
+    print(report.format_table(rows, "Table 2: Bus occupancy (processor cycles)"))
+
+
+def test_table3_macrobenchmarks(benchmark):
+    rows = single_run(benchmark, tables.table3_macrobenchmarks)
+    assert len(rows) == 5
+    print()
+    print(report.format_table(rows, "Table 3: Macrobenchmarks"))
+
+
+def test_table4_related_work(benchmark):
+    rows = single_run(benchmark, tables.table4_related_work)
+    assert rows[0]["interface"] == "CNI"
+    print()
+    print(report.format_table(rows, "Table 4: CNI vs other network interfaces"))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: build a two-node machine with a coherent network interface,
+send active messages between the nodes and report the round-trip latency.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Machine
+from repro.experiments import round_trip_latency
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a machine: two nodes, each with a CNI16Qm (the paper's best
+    #    memory-bus device) and the default paper parameters (200 MHz CPUs,
+    #    100 MHz coherent memory bus, 64-byte blocks, 256-byte network
+    #    messages, 100-cycle network latency).
+    # ------------------------------------------------------------------
+    machine = Machine.build("CNI16Qm", "memory", num_nodes=2)
+    print(machine.describe())
+
+    ml0, ml1 = machine.messaging  # per-node Tempest-like messaging layers
+
+    # ------------------------------------------------------------------
+    # 2. Register active-message handlers and write per-node programs.
+    #    Programs are generators; `yield from` composes messaging and
+    #    compute operations, and plain `yield n` waits n processor cycles.
+    # ------------------------------------------------------------------
+    state = {"pings": 0, "pongs": 0}
+
+    def on_ping(ml, source, nbytes, body):
+        state["pings"] += 1
+        yield from ml.send_active_message(source, "pong", nbytes)
+
+    def on_pong(ml, source, nbytes, body):
+        state["pongs"] += 1
+
+    ml1.register_handler("ping", on_ping)
+    ml0.register_handler("pong", on_pong)
+
+    rounds = 5
+
+    def node0():
+        for i in range(rounds):
+            yield from ml0.send_active_message(1, "ping", 64)
+            while state["pongs"] <= i:
+                got = yield from ml0.poll()
+                if not got:
+                    yield 20
+
+    def node1():
+        while state["pings"] < rounds:
+            got = yield from ml1.poll()
+            if not got:
+                yield 20
+
+    cycles = machine.run_programs([node0(), node1()])
+    print(f"{rounds} ping-pong rounds finished at cycle {cycles} "
+          f"({machine.params.cycles_to_us(cycles):.1f} us simulated)")
+
+    # ------------------------------------------------------------------
+    # 3. Use the built-in microbenchmark for a steady-state measurement and
+    #    compare against the conventional NI2w interface.
+    # ------------------------------------------------------------------
+    cni = round_trip_latency("CNI16Qm", "memory", 64, iterations=20, warmup=10)
+    ni2w = round_trip_latency("NI2w", "memory", 64, iterations=20, warmup=10)
+    print(f"64-byte round trip: CNI16Qm {cni.round_trip_us:.2f} us, "
+          f"NI2w {ni2w.round_trip_us:.2f} us "
+          f"({ni2w.round_trip_us / cni.round_trip_us - 1:.0%} improvement)")
+
+
+if __name__ == "__main__":
+    main()

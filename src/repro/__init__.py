@@ -1,0 +1,36 @@
+"""repro — reproduction of "Coherent Network Interfaces for Fine-Grain
+Communication" (Mukherjee, Falsafi, Hill & Wood, ISCA 1996).
+
+The package is organised as:
+
+* :mod:`repro.sim` — discrete-event simulation kernel,
+* :mod:`repro.common` — machine parameters (Table 2), address map, enums,
+* :mod:`repro.coherence` — MOESI snooping caches, buses, main memory,
+* :mod:`repro.network` — fixed-latency fabric and sliding-window flow control,
+* :mod:`repro.ni` — the five evaluated network interfaces (NI2w, CNI4,
+  CNI16Q, CNI512Q, CNI16Qm) plus the CDR/CQ mechanisms,
+* :mod:`repro.node` — processor, node and machine assembly,
+* :mod:`repro.msglayer` — Tempest-like active-message layer,
+* :mod:`repro.apps` — the five macrobenchmark communication skeletons,
+* :mod:`repro.experiments` — micro/macro benchmarks and figure/table
+  regeneration.
+"""
+
+from repro.common.params import DEFAULT_PARAMS, MachineParams
+from repro.common.types import BusKind
+from repro.node.machine import Machine
+from repro.node.node import NodeConfig
+from repro.ni.taxonomy import EVALUATED_DEVICES, parse_ni_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineParams",
+    "DEFAULT_PARAMS",
+    "BusKind",
+    "Machine",
+    "NodeConfig",
+    "EVALUATED_DEVICES",
+    "parse_ni_name",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Macrobenchmark communication skeletons (Table 3 of the paper)."""
+
+from typing import Dict, Type
+
+from repro.apps.appbt import AppbtWorkload
+from repro.apps.em3d import Em3dWorkload
+from repro.apps.gauss import GaussWorkload
+from repro.apps.moldyn import MoldynWorkload
+from repro.apps.spsolve import SpsolveWorkload
+from repro.apps.workload import Workload, WorkloadResult, poll_until
+
+#: The five macrobenchmarks evaluated in the paper, in its order.
+MACROBENCHMARKS: Dict[str, Type[Workload]] = {
+    "spsolve": SpsolveWorkload,
+    "gauss": GaussWorkload,
+    "em3d": Em3dWorkload,
+    "moldyn": MoldynWorkload,
+    "appbt": AppbtWorkload,
+}
+
+
+def create_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a macrobenchmark skeleton by its paper name."""
+    try:
+        cls = MACROBENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown macrobenchmark {name!r}; choose from {sorted(MACROBENCHMARKS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "poll_until",
+    "SpsolveWorkload",
+    "GaussWorkload",
+    "Em3dWorkload",
+    "MoldynWorkload",
+    "AppbtWorkload",
+    "MACROBENCHMARKS",
+    "create_workload",
+]

@@ -1,0 +1,121 @@
+"""appbt — NAS APPBT skeleton (near-neighbour shared-memory traffic).
+
+The paper's appbt is a 3-D computational fluid dynamics code whose cube is
+partitioned into sub-cubes; communication happens along sub-cube boundaries
+through Tempest's default invalidation-based shared-memory protocol with
+moderately large (128-byte) blocks, and the application exhibits a hot spot
+in which one processor receives twice as many messages as the others
+(Sections 4.2 and 5.2).
+
+The skeleton arranges the processors in a 3-D grid and, per iteration,
+exchanges boundary blocks with each face neighbour using a request/response
+pair (an 8-byte request answered by a 128-byte data message), adds the hot
+spot traffic towards processor 0, and runs a calibrated per-cell compute
+phase between exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Sequence, Tuple
+
+from repro.apps.workload import Workload, poll_until
+from repro.node.machine import Machine
+
+#: Size of one shared-memory data block transferred along a boundary.
+BLOCK_BYTES = 128
+#: Size of a request (get-block) message.
+REQUEST_BYTES = 8
+
+
+def grid_dimensions(num_procs: int) -> Tuple[int, int, int]:
+    """Pick a 3-D processor grid close to the paper's 16-node machine."""
+    dims = {1: (1, 1, 1), 2: (2, 1, 1), 4: (2, 2, 1), 8: (2, 2, 2), 16: (4, 2, 2), 32: (4, 4, 2)}
+    if num_procs in dims:
+        return dims[num_procs]
+    return (num_procs, 1, 1)
+
+
+def face_neighbours(proc_id: int, dims: Tuple[int, int, int]) -> List[int]:
+    """Face-adjacent neighbours of a processor in a periodic 3-D grid."""
+    nx, ny, nz = dims
+    x = proc_id % nx
+    y = (proc_id // nx) % ny
+    z = proc_id // (nx * ny)
+    neighbours = set()
+    for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+        nx_, ny_, nz_ = (x + dx) % nx, (y + dy) % ny, (z + dz) % nz
+        neighbour = nx_ + ny_ * nx + nz_ * nx * ny
+        if neighbour != proc_id:
+            neighbours.add(neighbour)
+    return sorted(neighbours)
+
+
+class AppbtWorkload(Workload):
+    """Near-neighbour boundary exchange with a hot spot at processor 0."""
+
+    name = "appbt"
+    key_communication = "Near neighbor"
+    paper_input = "24x24x24 cubes, 4 iter"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        iterations: int = 2,
+        blocks_per_face: int = 6,
+        hot_spot_blocks: int = 6,
+        cell_compute_cycles: int = 28000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.iterations = self.scaled(iterations, scale, minimum=1)
+        self.blocks_per_face = blocks_per_face
+        self.hot_spot_blocks = hot_spot_blocks
+        self.cell_compute_cycles = cell_compute_cycles
+
+    def programs(self, machine: Machine) -> Sequence[Generator]:
+        num_procs = len(machine.nodes)
+        dims = grid_dimensions(num_procs)
+        responses_received: Dict[int, int] = {p: 0 for p in range(num_procs)}
+
+        def reply_handler(ml, source, nbytes, body):
+            # Serve a boundary-block request with a 128-byte data response.
+            return ml.send_active_message(source, "appbt_data", BLOCK_BYTES)
+
+        def make_data_handler(proc_id: int):
+            def handler(ml, source, nbytes, body):
+                responses_received[proc_id] += 1
+                return None
+            return handler
+
+        programs = []
+        for proc_id, ml in enumerate(machine.messaging):
+            ml.register_handler("appbt_request", reply_handler)
+            ml.register_handler("appbt_data", make_data_handler(proc_id))
+
+            def program(proc_id=proc_id, ml=ml):
+                neighbours = face_neighbours(proc_id, dims)
+                expected = 0
+                for _iteration in range(self.iterations):
+                    yield from ml.processor.compute(self.cell_compute_cycles)
+                    # Boundary exchange with every face neighbour.
+                    for neighbour in neighbours:
+                        for _block in range(self.blocks_per_face):
+                            yield from ml.send_active_message(
+                                neighbour, "appbt_request", REQUEST_BYTES
+                            )
+                            expected += 1
+                    # Hot spot: everyone also fetches global coefficients
+                    # owned by processor 0.
+                    if proc_id != 0 and num_procs > 1:
+                        for _block in range(self.hot_spot_blocks):
+                            yield from ml.send_active_message(
+                                0, "appbt_request", REQUEST_BYTES
+                            )
+                            expected += 1
+                    yield from poll_until(
+                        ml, lambda e=expected: responses_received[proc_id] >= e
+                    )
+                    yield from ml.barrier()
+
+            programs.append(program())
+        return programs

@@ -1,0 +1,78 @@
+"""gauss — Gaussian-elimination skeleton (one-to-all pivot broadcast).
+
+The paper's gauss solves a 512x512 linear system by Gaussian elimination;
+its key communication is a one-to-all broadcast of the two-kilobyte pivot
+row each round (Section 4.2).  The skeleton performs the same rounds: the
+round's owner broadcasts the pivot row, every processor then eliminates its
+share of the remaining rows (a calibrated compute delay that shrinks as the
+matrix shrinks, as in the real algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Sequence
+
+from repro.apps.workload import Workload, poll_until
+from repro.node.machine import Machine
+
+#: Bytes broadcast per round (a 512-entry row of 4-byte values in the paper).
+PIVOT_ROW_BYTES = 2048
+
+
+class GaussWorkload(Workload):
+    """One-to-all broadcast of the pivot row, then local elimination."""
+
+    name = "gauss"
+    key_communication = "One-To-All Broadcast"
+    paper_input = "512x512 matrix"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        rounds: int = 24,
+        row_bytes: int = PIVOT_ROW_BYTES,
+        elimination_cycles: int = 14000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.rounds = self.scaled(rounds, scale, minimum=2)
+        self.row_bytes = row_bytes
+        self.elimination_cycles = elimination_cycles
+
+    def programs(self, machine: Machine) -> Sequence[Generator]:
+        num_procs = len(machine.nodes)
+        pivots_received: Dict[int, int] = {p: 0 for p in range(num_procs)}
+
+        def make_handler(proc_id: int):
+            def handler(ml, source, nbytes, body):
+                pivots_received[proc_id] += 1
+                return None
+            return handler
+
+        programs = []
+        for proc_id, ml in enumerate(machine.messaging):
+            ml.register_handler("gauss_pivot", make_handler(proc_id))
+
+            def program(proc_id=proc_id, ml=ml):
+                pivots_expected = 0
+                for round_index in range(self.rounds):
+                    owner = round_index % num_procs
+                    if proc_id == owner:
+                        # Factor the pivot row, then broadcast it.
+                        yield from ml.processor.compute(self.elimination_cycles // 8)
+                        yield from ml.broadcast("gauss_pivot", self.row_bytes, (round_index,))
+                    else:
+                        pivots_expected += 1
+                        yield from poll_until(
+                            ml, lambda e=pivots_expected: pivots_received[proc_id] >= e
+                        )
+                    # Eliminate this processor's share of the remaining rows;
+                    # the remaining work shrinks as rounds progress.
+                    remaining_fraction = 1.0 - round_index / max(1, self.rounds)
+                    yield from ml.processor.compute(
+                        max(200, int(self.elimination_cycles * remaining_fraction))
+                    )
+                yield from ml.barrier()
+
+            programs.append(program())
+        return programs

@@ -1,0 +1,114 @@
+"""Workload framework for the five macrobenchmarks.
+
+The paper's macrobenchmarks (Table 3) are full applications running on
+Tempest; what determines their NI sensitivity is their *communication
+pattern* — message sizes, fan-out, burstiness and the ratio of computation
+to communication (Section 4.2).  We therefore implement each benchmark as a
+deterministic **communication skeleton**: per-node programs that issue the
+same pattern of active messages, bulk transfers, broadcasts and barriers as
+the original application, with computation represented by calibrated
+processor delays.  Performance is always reported as a *speedup relative to
+NI2w on the memory bus*, exactly as in Figure 8, so the absolute scale of
+the skeleton cancels out.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.node.machine import Machine
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run on one machine configuration."""
+
+    workload: str
+    ni_name: str
+    bus: str
+    cycles: int
+    memory_bus_occupancy: int
+    io_bus_occupancy: int
+    user_messages: int
+    network_messages: int
+
+    @property
+    def microseconds(self) -> float:
+        # The result is only meaningful relative to another configuration,
+        # but microseconds are convenient for eyeballing.
+        return self.cycles / 200.0
+
+
+class Workload(abc.ABC):
+    """Base class for macrobenchmark communication skeletons."""
+
+    #: Benchmark name as used in the paper.
+    name = "workload"
+    #: "Key communication" column of Table 3.
+    key_communication = ""
+    #: "Input data set" column of Table 3 (the paper's full-size input).
+    paper_input = ""
+
+    def __init__(self, scale: float = 1.0, seed: int = 12345):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def programs(self, machine: Machine) -> Sequence[Generator]:
+        """Build one program generator per node of ``machine``."""
+
+    def describe_input(self) -> str:
+        """Human-readable description of the (scaled) input actually used."""
+        return f"{self.paper_input} (communication skeleton, scale={self.scale})"
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, machine: Machine, max_cycles: Optional[int] = None) -> WorkloadResult:
+        """Run the workload to completion on ``machine``."""
+        cycles = machine.run_programs(self.programs(machine), max_cycles=max_cycles)
+        ni_names = {node.config.ni_name for node in machine.nodes}
+        buses = {node.config.ni_bus.value for node in machine.nodes}
+        return WorkloadResult(
+            workload=self.name,
+            ni_name="/".join(sorted(ni_names)),
+            bus="/".join(sorted(buses)),
+            cycles=cycles,
+            memory_bus_occupancy=machine.total_memory_bus_occupancy(),
+            io_bus_occupancy=machine.total_io_bus_occupancy(),
+            user_messages=sum(ml.stats.get("user_messages_sent") for ml in machine.messaging),
+            network_messages=machine.network_stats().get("messages_injected", 0),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the skeletons
+    # ------------------------------------------------------------------
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    @staticmethod
+    def scaled(value: int, scale: float, minimum: int = 1) -> int:
+        return max(minimum, int(round(value * scale)))
+
+
+def poll_until(ml, done_predicate, backoff: int = 20):
+    """Poll the messaging layer until ``done_predicate()`` is true."""
+    while not done_predicate():
+        got = yield from ml.poll()
+        if not got:
+            yield backoff
+
+
+def drain_completed(ml, backoff: int = 20):
+    """Drain any straggler messages without blocking (one poll pass)."""
+    got = yield from ml.poll()
+    if not got:
+        yield backoff

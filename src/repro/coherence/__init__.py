@@ -1,0 +1,13 @@
+"""MOESI snooping-coherence substrate: buses, caches, main memory."""
+
+from repro.coherence.bus import BusError, NodeInterconnect, NACK_BACKOFF_CYCLES
+from repro.coherence.cache import CacheError, CoherentCache, MainMemory
+
+__all__ = [
+    "NodeInterconnect",
+    "BusError",
+    "NACK_BACKOFF_CYCLES",
+    "CoherentCache",
+    "CacheError",
+    "MainMemory",
+]

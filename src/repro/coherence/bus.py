@@ -1,0 +1,207 @@
+"""Snooping bus interconnect for one node.
+
+A node has a coherent memory bus and, optionally, a coherent I/O bus behind
+an I/O bridge (paper Section 4.1).  Both buses support a single outstanding
+transaction.  Table-2 occupancies for the I/O bus already include the
+corresponding memory-bus occupancy, so a transaction that involves an
+I/O-bus agent holds *both* buses for the I/O occupancy period.
+
+The I/O bridge behaviour follows the paper: when transactions are initiated
+simultaneously on the two buses, the I/O-side transaction is NACKed and
+retried (with the retry guaranteed to make progress).  We model the NACK as
+an explicit backoff penalty plus a deadlock-free ordered re-acquisition of
+the two buses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.common.addrmap import AddressMap
+from repro.common.params import MachineParams
+from repro.common.types import AgentKind, BusKind, BusOp, BusTransaction, SnoopResponse
+from repro.sim import Acquire, Counter, Delay, Resource, Simulator
+
+#: Cycles an I/O-side initiator waits after being NACKed by the bridge.
+NACK_BACKOFF_CYCLES = 20
+
+
+class BusError(RuntimeError):
+    """Raised for protocol violations on the bus."""
+
+
+class NodeInterconnect:
+    """The coherent buses of a single node plus the snooping agent set."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: MachineParams,
+        addrmap: AddressMap,
+        name: str = "node",
+        with_io_bus: bool = False,
+        with_cache_bus: bool = False,
+    ):
+        self.sim = sim
+        self.params = params
+        self.addrmap = addrmap
+        self.name = name
+        self.membus = Resource(sim, name=f"{name}.membus")
+        self.iobus: Optional[Resource] = (
+            Resource(sim, name=f"{name}.iobus") if with_io_bus else None
+        )
+        self.cachebus: Optional[Resource] = (
+            Resource(sim, name=f"{name}.cachebus") if with_cache_bus else None
+        )
+        self._agents: List[object] = []
+        self.stats = Counter()
+        self.nack_count = 0
+
+    # ------------------------------------------------------------------
+    # Agent registration
+    # ------------------------------------------------------------------
+    def attach(self, agent: object) -> None:
+        """Attach a snooping agent (cache, memory controller or NI device).
+
+        Agents must expose ``name``, ``agent_kind``, ``bus_kind``,
+        ``snoop(txn) -> SnoopResponse`` and ``is_home(address) -> bool``.
+        """
+        for attr in ("agent_kind", "bus_kind", "snoop", "is_home"):
+            if not hasattr(agent, attr):
+                raise BusError(f"agent {agent!r} lacks required attribute {attr!r}")
+        self._agents.append(agent)
+
+    def detach(self, agent: object) -> None:
+        self._agents.remove(agent)
+
+    @property
+    def agents(self) -> Iterable[object]:
+        return tuple(self._agents)
+
+    def home_agent(self, address: int) -> object:
+        for agent in self._agents:
+            if agent.is_home(address):
+                return agent
+        raise BusError(f"no home agent for address {address:#x} on {self.name}")
+
+    # ------------------------------------------------------------------
+    # Bus selection
+    # ------------------------------------------------------------------
+    def _buses_for(self, txn: BusTransaction, home: object) -> tuple:
+        """Return (bus_kind_for_timing, resources_to_hold)."""
+        initiator_bus = getattr(txn.initiator, "bus_kind", BusKind.MEMORY)
+        home_bus = home.bus_kind
+        involved = {initiator_bus, home_bus}
+        if BusKind.CACHE in involved:
+            # NI on the dedicated cache bus: private fast path between the
+            # processor and the NI that does not occupy the memory bus.
+            resources = [self.cachebus] if self.cachebus is not None else []
+            return BusKind.CACHE, resources
+        if BusKind.IO in involved:
+            if self.iobus is None:
+                raise BusError(f"{self.name} has no I/O bus but agent requires one")
+            return BusKind.IO, [self.membus, self.iobus]
+        return BusKind.MEMORY, [self.membus]
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def transaction(
+        self,
+        initiator: object,
+        op: BusOp,
+        address: int,
+        size: int,
+    ):
+        """Perform one bus transaction.  Generator; returns the transaction.
+
+        The snoop phase runs while the bus is held; every attached agent
+        other than the initiator gets to observe (and update its state for)
+        the transaction.  The data supplier and resulting occupancy are
+        resolved from the snoop responses and the paper's Table 2.
+        """
+        txn = BusTransaction(
+            op=op,
+            address=address,
+            size=size,
+            initiator=initiator,
+            initiator_kind=getattr(initiator, "agent_kind", AgentKind.PROCESSOR),
+            issue_time=self.sim.now,
+        )
+        home = self.home_agent(address)
+        timing_bus, resources = self._buses_for(txn, home)
+
+        # --- Arbitration -------------------------------------------------
+        io_side_initiator = getattr(initiator, "bus_kind", BusKind.MEMORY) is BusKind.IO
+        if io_side_initiator and self.membus in resources:
+            # The I/O bridge NACKs the I/O-side transaction if the memory bus
+            # is busy at the moment the transaction is initiated.
+            if not self.membus.try_acquire_now():
+                self.nack_count += 1
+                self.stats.add("bridge_nacks")
+                yield Delay(NACK_BACKOFF_CYCLES)
+                yield Acquire(self.membus)
+            # Memory bus is now held; take the I/O bus in order.
+            if self.iobus is not None and self.iobus in resources:
+                yield Acquire(self.iobus)
+            held = [r for r in resources if r is not None]
+        else:
+            held = []
+            for resource in resources:
+                if resource is None:
+                    continue
+                yield Acquire(resource)
+                held.append(resource)
+
+        try:
+            # --- Snoop phase --------------------------------------------
+            for agent in self._agents:
+                if agent is initiator:
+                    continue
+                response = agent.snoop(txn)
+                if response is None:
+                    continue
+                if response.supplies_data and txn.supplier is None:
+                    txn.supplier = agent
+                    txn.supplier_kind = agent.agent_kind
+                if response.shared:
+                    txn.shared = True
+            if txn.supplier is None and op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE):
+                txn.supplier = home
+                txn.supplier_kind = home.agent_kind
+                txn.data_from_memory = home.agent_kind is AgentKind.MEMORY
+            if op in (BusOp.UNCACHED_READ, BusOp.UNCACHED_WRITE):
+                txn.supplier = home
+                txn.supplier_kind = home.agent_kind
+
+            # --- Occupancy ------------------------------------------------
+            occupancy = self.params.occupancy(
+                op,
+                timing_bus,
+                txn.initiator_kind,
+                txn.supplier_kind,
+                data_from_memory=txn.data_from_memory,
+            )
+            self.stats.add(f"txn_{op.value}")
+            self.stats.add(f"txn_on_{timing_bus.value}")
+            self.stats.add("txn_total")
+            self.stats.add("occupancy_cycles", occupancy)
+            if self.membus in held:
+                self.stats.add("membus_occupancy_cycles", occupancy)
+            if self.iobus is not None and self.iobus in held:
+                self.stats.add("iobus_occupancy_cycles", occupancy)
+            yield Delay(occupancy)
+        finally:
+            for resource in reversed(held):
+                resource.release()
+        return txn
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def memory_bus_occupancy(self) -> int:
+        """Total cycles of memory-bus occupancy accumulated so far."""
+        return self.stats.get("membus_occupancy_cycles")
+
+    def io_bus_occupancy(self) -> int:
+        return self.stats.get("iobus_occupancy_cycles")

@@ -1,0 +1,373 @@
+"""Direct-mapped snooping cache with a MOESI write-invalidate protocol.
+
+The same class models both the 256 KB processor cache and the small device
+caches inside coherent network interfaces; only the geometry and the agent
+kind differ.  Caches track coherence state per block — the reproduction does
+not model data contents, because functional message payloads travel through
+the NI device queues as Python objects and only hit/miss behaviour and the
+resulting bus traffic matter for the paper's results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.addrmap import AddressMap
+from repro.common.params import MachineParams
+from repro.common.types import (
+    AgentKind,
+    BusKind,
+    BusOp,
+    BusTransaction,
+    CoherenceState,
+    SnoopResponse,
+)
+from repro.coherence.bus import NodeInterconnect
+from repro.sim import Counter, Delay, Simulator
+
+
+class CacheError(RuntimeError):
+    """Raised on cache protocol violations."""
+
+
+class _BlockEntry:
+    """One direct-mapped cache frame."""
+
+    __slots__ = ("tag", "state")
+
+    def __init__(self) -> None:
+        self.tag: Optional[int] = None
+        self.state = CoherenceState.INVALID
+
+    def matches(self, tag: int) -> bool:
+        return self.tag == tag and self.state is not CoherenceState.INVALID
+
+    def tag_matches(self, tag: int) -> bool:
+        """Tag match regardless of validity (used for data snarfing)."""
+        return self.tag == tag
+
+
+class CoherentCache:
+    """A direct-mapped, write-allocate MOESI cache attached to a node bus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        interconnect: NodeInterconnect,
+        params: MachineParams,
+        addrmap: AddressMap,
+        size_bytes: int,
+        agent_kind: AgentKind = AgentKind.PROCESSOR,
+        bus_kind: BusKind = BusKind.MEMORY,
+        snarfing: bool = False,
+    ):
+        if size_bytes % params.cache_block_bytes != 0:
+            raise CacheError("cache size must be a whole number of blocks")
+        self.sim = sim
+        self.name = name
+        self.interconnect = interconnect
+        self.params = params
+        self.addrmap = addrmap
+        self.agent_kind = agent_kind
+        self.bus_kind = bus_kind
+        self.snarfing = snarfing
+        self.block_bytes = params.cache_block_bytes
+        self.num_sets = size_bytes // self.block_bytes
+        self._sets: List[_BlockEntry] = [_BlockEntry() for _ in range(self.num_sets)]
+        self.stats = Counter()
+        #: Optional hook invoked (synchronously) after this cache snoops a
+        #: transaction from another agent.  CNI devices use it to implement
+        #: virtual polling.
+        self.snoop_listener: Optional[Callable[[BusTransaction], None]] = None
+        interconnect.attach(self)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _locate(self, block_addr: int) -> Tuple[int, int]:
+        index = (block_addr // self.block_bytes) % self.num_sets
+        tag = block_addr // (self.block_bytes * self.num_sets)
+        return index, tag
+
+    def _block_base(self, index: int, tag: int) -> int:
+        return (tag * self.num_sets + index) * self.block_bytes
+
+    def probe_state(self, address: int) -> CoherenceState:
+        """Current coherence state of the block containing ``address``."""
+        block = self.addrmap.block_address(address)
+        index, tag = self._locate(block)
+        entry = self._sets[index]
+        if entry.matches(tag):
+            return entry.state
+        return CoherenceState.INVALID
+
+    def resident_blocks(self) -> List[int]:
+        """Addresses of all valid blocks (mainly for tests)."""
+        blocks = []
+        for index, entry in enumerate(self._sets):
+            if entry.state is not CoherenceState.INVALID and entry.tag is not None:
+                blocks.append(self._block_base(index, entry.tag))
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Home protocol (caches are never a home)
+    # ------------------------------------------------------------------
+    def is_home(self, address: int) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # Processor-side operations (generators)
+    # ------------------------------------------------------------------
+    def read(self, address: int, size: int):
+        """Read ``size`` bytes starting at ``address`` through the cache."""
+        if not self.addrmap.is_cachable(address):
+            raise CacheError(f"cached read of uncachable address {address:#x}")
+        for block in self.addrmap.blocks_covering(address, size):
+            yield from self.read_block(block)
+
+    def write(self, address: int, size: int):
+        """Write ``size`` bytes starting at ``address`` through the cache."""
+        if not self.addrmap.is_cachable(address):
+            raise CacheError(f"cached write of uncachable address {address:#x}")
+        for block in self.addrmap.blocks_covering(address, size):
+            yield from self.write_block(block)
+
+    def read_block(self, block_addr: int):
+        """Obtain a readable (S or better) copy of a single block."""
+        block_addr = self.addrmap.block_address(block_addr)
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+        if entry.matches(tag):
+            self.stats.add("read_hits")
+            yield Delay(self.params.cache_hit_cycles)
+            return
+        self.stats.add("read_misses")
+        yield from self._evict_if_needed(entry, index)
+        txn = yield from self.interconnect.transaction(
+            self, BusOp.READ_SHARED, block_addr, self.block_bytes
+        )
+        entry.tag = tag
+        if txn.supplier_kind is AgentKind.MEMORY and not txn.shared:
+            entry.state = CoherenceState.EXCLUSIVE
+        else:
+            entry.state = CoherenceState.SHARED
+        yield Delay(self._miss_extra_cycles() + self.params.cache_hit_cycles)
+
+    def write_block(self, block_addr: int):
+        """Obtain write permission (M) for a single block."""
+        block_addr = self.addrmap.block_address(block_addr)
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+        if entry.matches(tag):
+            if entry.state is CoherenceState.MODIFIED:
+                self.stats.add("write_hits")
+                yield Delay(self.params.cache_hit_cycles)
+                return
+            if entry.state is CoherenceState.EXCLUSIVE:
+                self.stats.add("write_hits")
+                entry.state = CoherenceState.MODIFIED
+                yield Delay(self.params.cache_hit_cycles)
+                return
+            # SHARED or OWNED: upgrade (invalidate other copies).
+            self.stats.add("write_upgrades")
+            yield from self.interconnect.transaction(
+                self, BusOp.UPGRADE, block_addr, self.block_bytes
+            )
+            entry.state = CoherenceState.MODIFIED
+            yield Delay(self.params.cache_hit_cycles)
+            return
+        self.stats.add("write_misses")
+        yield from self._evict_if_needed(entry, index)
+        yield from self.interconnect.transaction(
+            self, BusOp.READ_EXCLUSIVE, block_addr, self.block_bytes
+        )
+        entry.tag = tag
+        entry.state = CoherenceState.MODIFIED
+        yield Delay(self._miss_extra_cycles() + self.params.cache_hit_cycles)
+
+    def _miss_extra_cycles(self) -> int:
+        """Latency a miss sees beyond the bus occupancy (processor caches only)."""
+        if self.agent_kind is AgentKind.PROCESSOR:
+            return self.params.processor_miss_extra_cycles
+        return 0
+
+    def write_block_full(self, block_addr: int):
+        """Obtain write permission for a block that will be written in full.
+
+        Devices (and full-line store hardware) do not need the old contents
+        of a block they are about to overwrite completely, so a miss costs
+        only an address-phase invalidation rather than a data fetch.  This is
+        how a CNI acquires write permission for queue blocks it is filling
+        with an arriving message (paper Section 2.1/2.2).
+        """
+        block_addr = self.addrmap.block_address(block_addr)
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+        if entry.matches(tag):
+            if entry.state.is_writable():
+                self.stats.add("write_hits")
+                entry.state = CoherenceState.MODIFIED
+                yield Delay(self.params.cache_hit_cycles)
+                return
+            self.stats.add("write_upgrades")
+            yield from self.interconnect.transaction(
+                self, BusOp.UPGRADE, block_addr, self.block_bytes
+            )
+            entry.state = CoherenceState.MODIFIED
+            yield Delay(self.params.cache_hit_cycles)
+            return
+        self.stats.add("write_misses_full_block")
+        yield from self._evict_if_needed(entry, index)
+        yield from self.interconnect.transaction(
+            self, BusOp.UPGRADE, block_addr, self.block_bytes
+        )
+        entry.tag = tag
+        entry.state = CoherenceState.MODIFIED
+        yield Delay(self.params.cache_hit_cycles)
+
+    def flush_block(self, block_addr: int):
+        """Write a dirty block back to its home and drop it (explicit flush)."""
+        block_addr = self.addrmap.block_address(block_addr)
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+        if not entry.matches(tag):
+            return
+        if entry.state.is_dirty():
+            self.stats.add("explicit_flushes")
+            yield from self.interconnect.transaction(
+                self, BusOp.WRITEBACK, block_addr, self.block_bytes
+            )
+        entry.state = CoherenceState.INVALID
+
+    def invalidate_block(self, block_addr: int) -> None:
+        """Locally drop a block without any bus traffic (device-internal use)."""
+        block_addr = self.addrmap.block_address(block_addr)
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+        if entry.matches(tag):
+            entry.state = CoherenceState.INVALID
+
+    def _evict_if_needed(self, entry: _BlockEntry, index: int):
+        if entry.state is CoherenceState.INVALID or entry.tag is None:
+            return
+        victim_addr = self._block_base(index, entry.tag)
+        if entry.state.is_dirty():
+            self.stats.add("writebacks")
+            yield from self.interconnect.transaction(
+                self, BusOp.WRITEBACK, victim_addr, self.block_bytes
+            )
+        else:
+            self.stats.add("clean_evictions")
+        entry.state = CoherenceState.INVALID
+        entry.tag = None
+
+    # ------------------------------------------------------------------
+    # Snooping
+    # ------------------------------------------------------------------
+    def snoop(self, txn: BusTransaction) -> SnoopResponse:
+        response = SnoopResponse()
+        if txn.op in (BusOp.UNCACHED_READ, BusOp.UNCACHED_WRITE):
+            return response
+        block_addr = self.addrmap.block_address(txn.address)
+        if not self.addrmap.is_cachable(block_addr):
+            return response
+        index, tag = self._locate(block_addr)
+        entry = self._sets[index]
+
+        if not entry.matches(tag):
+            # Data snarfing (paper Section 5.1.2): pick up data flying by on
+            # the bus when the tag matches an invalid frame.
+            if (
+                self.snarfing
+                and entry.tag_matches(tag)
+                and txn.op in (BusOp.WRITEBACK, BusOp.READ_SHARED)
+            ):
+                entry.state = CoherenceState.SHARED
+                self.stats.add("snarfed_blocks")
+                response.shared = True
+            self._notify_listener(txn)
+            return response
+
+        if txn.op is BusOp.READ_SHARED:
+            if entry.state is CoherenceState.MODIFIED:
+                entry.state = CoherenceState.OWNED
+                response.supplies_data = True
+            elif entry.state is CoherenceState.OWNED:
+                response.supplies_data = True
+            elif entry.state is CoherenceState.EXCLUSIVE:
+                entry.state = CoherenceState.SHARED
+                response.supplies_data = True
+            response.shared = True
+        elif txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
+            if entry.state.is_dirty() and txn.op is BusOp.READ_EXCLUSIVE:
+                response.supplies_data = True
+            entry.state = CoherenceState.INVALID
+            self.stats.add("snoop_invalidations")
+        elif txn.op is BusOp.WRITEBACK:
+            # Another agent wrote the block back to its home; our copy (if
+            # any) stays valid only if it was a clean shared copy.
+            if entry.state.is_dirty():
+                # Cannot happen in a correct MOESI protocol: two dirty owners.
+                raise CacheError(
+                    f"{self.name}: snooped writeback of a block we own dirty "
+                    f"({txn.describe()})"
+                )
+        self._notify_listener(txn)
+        return response
+
+    def _notify_listener(self, txn: BusTransaction) -> None:
+        if self.snoop_listener is not None:
+            self.snoop_listener(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        hits = self.stats.get("read_hits") + self.stats.get("write_hits")
+        misses = self.stats.get("read_misses") + self.stats.get("write_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return f"<CoherentCache {self.name} {self.num_sets} blocks on {self.bus_kind}>"
+
+
+class MainMemory:
+    """Main-memory home agent for the DRAM address range.
+
+    Memory never initiates transactions; it supplies data when no cache owns
+    a block and absorbs writebacks.  It can also be configured as the home
+    for additional address ranges (the CNI16Qm queue pages are ordinary
+    pinned DRAM pages, so they fall in the DRAM range already).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        interconnect: NodeInterconnect,
+        params: MachineParams,
+        addrmap: AddressMap,
+    ):
+        self.sim = sim
+        self.name = name
+        self.params = params
+        self.addrmap = addrmap
+        self.agent_kind = AgentKind.MEMORY
+        self.bus_kind = BusKind.MEMORY
+        self.stats = Counter()
+        interconnect.attach(self)
+
+    def is_home(self, address: int) -> bool:
+        return self.addrmap.is_dram(address)
+
+    def snoop(self, txn: BusTransaction) -> SnoopResponse:
+        if txn.op is BusOp.WRITEBACK and self.is_home(txn.address):
+            self.stats.add("writebacks_accepted")
+        elif txn.op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE) and self.is_home(txn.address):
+            self.stats.add("reads_observed")
+        return SnoopResponse()
+
+    def __repr__(self) -> str:
+        return f"<MainMemory {self.name}>"

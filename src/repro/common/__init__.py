@@ -1,0 +1,30 @@
+"""Shared parameters, enums and address-map utilities."""
+
+from repro.common.addrmap import AddressMap, RegionAllocator
+from repro.common.params import DEFAULT_PARAMS, MachineParams, ParameterError
+from repro.common.types import (
+    AddressRange,
+    AgentKind,
+    BusKind,
+    BusOp,
+    BusTransaction,
+    CoherenceState,
+    NetworkMessage,
+    SnoopResponse,
+)
+
+__all__ = [
+    "MachineParams",
+    "DEFAULT_PARAMS",
+    "ParameterError",
+    "AddressMap",
+    "RegionAllocator",
+    "AddressRange",
+    "AgentKind",
+    "BusKind",
+    "BusOp",
+    "BusTransaction",
+    "CoherenceState",
+    "NetworkMessage",
+    "SnoopResponse",
+]

@@ -1,0 +1,221 @@
+"""Machine parameters for the simulated system.
+
+All timing constants come from Section 4.1 and Table 2 of the paper:
+
+* 16 nodes, 200 MHz dual-issue SPARC processors,
+* 100 MHz multiplexed coherent memory bus, 50 MHz multiplexed coherent I/O
+  bus, both with a single outstanding transaction,
+* 256 KB direct-mapped processor cache with 64-byte blocks,
+* fixed 256-byte network messages with a 12-byte header, 100-cycle network
+  latency, and a 4-message per-destination hardware sliding window.
+
+Table 2 occupancies are expressed in *processor cycles* and, for the I/O
+bus, already include the corresponding memory-bus occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.common.types import AgentKind, BusKind, BusOp
+
+
+class ParameterError(ValueError):
+    """Raised for invalid machine parameter combinations."""
+
+
+#: Physical address map.  Each node has its own private physical address
+#: space (nodes never address each other's memory directly; only the network
+#: connects them), so one map serves every node.
+DRAM_BASE = 0x0000_0000
+DRAM_SIZE = 0x1000_0000           # 256 MB of main memory
+NI_HOMED_BASE = 0x8000_0000       # device-homed CDR / CQ blocks
+NI_HOMED_SIZE = 0x0100_0000
+NI_UNCACHED_BASE = 0x9000_0000    # uncached NI status / control / FIFO registers
+NI_UNCACHED_SIZE = 0x0010_0000
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Tunable description of the simulated machine."""
+
+    # Processor and caches
+    processor_mhz: int = 200
+    cache_block_bytes: int = 64
+    processor_cache_bytes: int = 256 * 1024
+    cache_hit_cycles: int = 1
+
+    # Network (Section 4.1)
+    num_nodes: int = 16
+    network_message_bytes: int = 256
+    network_header_bytes: int = 12
+    network_latency_cycles: int = 100
+    sliding_window: int = 4
+
+    # Uncached accesses are performed 8 bytes (one double word) at a time.
+    uncached_access_bytes: int = 8
+
+    # Table 2 occupancies (processor cycles).
+    uncached_load_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 4, BusKind.MEMORY: 28, BusKind.IO: 48}
+    )
+    uncached_store_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 4, BusKind.MEMORY: 12, BusKind.IO: 32}
+    )
+    cache_to_cache_from_cni_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.MEMORY: 42, BusKind.IO: 76}
+    )
+    cache_to_cache_to_cni_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.MEMORY: 42, BusKind.IO: 62}
+    )
+    memory_to_cache_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.MEMORY: 42, BusKind.IO: 76}
+    )
+    #: Address-only invalidation / upgrade transactions (not listed in
+    #: Table 2; modelled as a short address-phase-only transaction).
+    invalidation_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 4, BusKind.MEMORY: 10, BusKind.IO: 30}
+    )
+    #: Writeback of a dirty 64-byte block to its home.
+    writeback_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 42, BusKind.MEMORY: 42, BusKind.IO: 62}
+    )
+    #: Processor-to-processor cache-to-cache transfer (used only for the
+    #: bandwidth normalization constant of Figure 7).
+    cache_to_cache_proc_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 42, BusKind.MEMORY: 42, BusKind.IO: 76}
+    )
+
+    # Memory barrier cost (flush the store buffer before the NI sees a store).
+    memory_barrier_cycles: int = 6
+
+    #: Processor overhead per 8-byte word moved through uncached device
+    #: registers (user-buffer load/store, address generation, loop control).
+    uncached_word_processing_cycles: int = 6
+    #: Processor cycles to copy one cache block between a user buffer and a
+    #: CDR/CQ block (8 double-word loads plus 8 stores on a dual-issue core).
+    block_copy_cycles: int = 20
+    #: Extra latency a *processor* cache miss sees beyond the bus occupancy
+    #: (arbitration, snoop resolution, critical-word delivery).  The paper's
+    #: 230 ns cache-to-cache transfer corresponds to roughly this much on top
+    #: of the 42-cycle bus occupancy.  Device caches pipeline their accesses
+    #: and are not charged this latency.
+    processor_miss_extra_cycles: int = 25
+    #: Extra latency an uncached *load* sees beyond its bus occupancy: the
+    #: processor stalls for arbitration plus the device's response, which the
+    #: Table-2 occupancy alone does not cover.  Uncached stores retire
+    #: through the store buffer and see no extra stall.
+    uncached_load_extra_cycles: Dict[BusKind, int] = field(
+        default_factory=lambda: {BusKind.CACHE: 2, BusKind.MEMORY: 15, BusKind.IO: 25}
+    )
+
+    # Optional global features
+    data_snarfing: bool = False
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.processor_mhz
+
+    @property
+    def network_payload_bytes(self) -> int:
+        """User payload capacity of one network message."""
+        return self.network_message_bytes - self.network_header_bytes
+
+    @property
+    def blocks_per_network_message(self) -> int:
+        return (self.network_message_bytes + self.cache_block_bytes - 1) // self.cache_block_bytes
+
+    @property
+    def processor_cache_blocks(self) -> int:
+        return self.processor_cache_bytes // self.cache_block_bytes
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles * self.cycle_ns / 1000.0
+
+    def bytes_per_cycle_to_mbps(self, bytes_per_cycle: float) -> float:
+        """Convert bytes/processor-cycle to MB/s (decimal megabytes)."""
+        return bytes_per_cycle * self.processor_mhz  # bytes/us == MB/s
+
+    def max_local_cq_bandwidth_mbps(self) -> float:
+        """Analytic maximum bandwidth of a local CQ between two processors.
+
+        The paper normalizes Figure 7 against the bandwidth two processors on
+        the same coherent memory bus can sustain (144 MB/s for their
+        parameters).  Per 64-byte block that transfer costs a
+        read-for-ownership with a cache-to-cache data supply (sender) plus a
+        read miss with a cache-to-cache supply (receiver).
+        """
+        per_block = (
+            self.cache_to_cache_proc_cycles[BusKind.MEMORY]
+            + self.processor_miss_extra_cycles
+            + self.invalidation_cycles[BusKind.MEMORY]
+            + self.block_copy_cycles
+        )
+        return self.bytes_per_cycle_to_mbps(self.cache_block_bytes / per_block)
+
+    # ------------------------------------------------------------------
+    # Validation and variants
+    # ------------------------------------------------------------------
+    def validate(self) -> "MachineParams":
+        if self.cache_block_bytes <= 0 or self.cache_block_bytes % 8 != 0:
+            raise ParameterError("cache_block_bytes must be a positive multiple of 8")
+        if self.processor_cache_bytes % self.cache_block_bytes != 0:
+            raise ParameterError("processor cache size must be a whole number of blocks")
+        if self.network_header_bytes >= self.network_message_bytes:
+            raise ParameterError("network header must be smaller than the network message")
+        if self.network_message_bytes % self.cache_block_bytes != 0:
+            raise ParameterError("network message must be a whole number of cache blocks")
+        if self.num_nodes < 1:
+            raise ParameterError("num_nodes must be >= 1")
+        if self.sliding_window < 1:
+            raise ParameterError("sliding_window must be >= 1")
+        return self
+
+    def with_overrides(self, **kwargs) -> "MachineParams":
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **kwargs).validate()
+
+    # ------------------------------------------------------------------
+    # Table-2 occupancy lookup
+    # ------------------------------------------------------------------
+    def occupancy(
+        self,
+        op: BusOp,
+        bus: BusKind,
+        initiator_kind: AgentKind,
+        supplier_kind: Optional[AgentKind] = None,
+        data_from_memory: bool = False,
+    ) -> int:
+        """Bus occupancy in processor cycles for one transaction.
+
+        The supplier/initiator kinds select the proper Table-2 row for
+        cache-to-cache transfers (processor<->CNI direction matters on the
+        I/O bus).
+        """
+        if op is BusOp.UNCACHED_READ:
+            return self.uncached_load_cycles[bus]
+        if op is BusOp.UNCACHED_WRITE:
+            return self.uncached_store_cycles[bus]
+        if op is BusOp.UPGRADE:
+            return self.invalidation_cycles[bus]
+        if op is BusOp.WRITEBACK:
+            return self.writeback_cycles[bus]
+        if op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE):
+            if data_from_memory or supplier_kind is AgentKind.MEMORY or supplier_kind is None:
+                return self.memory_to_cache_cycles.get(bus, self.memory_to_cache_cycles[BusKind.MEMORY])
+            if supplier_kind is AgentKind.NI_DEVICE:
+                # CNI supplies data to the processor (or bridge).
+                return self.cache_to_cache_from_cni_cycles[bus]
+            if initiator_kind is AgentKind.NI_DEVICE:
+                # Processor cache supplies data to the CNI.
+                return self.cache_to_cache_to_cni_cycles[bus]
+            # processor <-> processor (only used by the normalization model)
+            return self.cache_to_cache_proc_cycles[bus]
+        raise ParameterError(f"no occupancy rule for {op!r} on {bus!r}")
+
+
+DEFAULT_PARAMS = MachineParams().validate()

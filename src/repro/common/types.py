@@ -1,0 +1,131 @@
+"""Shared enumerations and small value types for the CNI reproduction."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class BusKind(enum.Enum):
+    """Which bus a device is attached to (paper Section 4.1)."""
+
+    CACHE = "cache"
+    MEMORY = "memory"
+    IO = "io"
+
+    def __str__(self) -> str:  # nicer in reports
+        return self.value
+
+
+class CoherenceState(enum.Enum):
+    """MOESI block states (Sweazey & Smith)."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    def is_dirty(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+
+    def is_writable(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+
+class BusOp(enum.Enum):
+    """Bus transaction types on the snooping buses."""
+
+    READ_SHARED = "read_shared"          # coherent read, requester wants S/E
+    READ_EXCLUSIVE = "read_exclusive"    # coherent read-for-ownership
+    UPGRADE = "upgrade"                  # invalidate others, requester has data
+    WRITEBACK = "writeback"              # dirty block to its home
+    UNCACHED_READ = "uncached_read"      # 8-byte uncached device register read
+    UNCACHED_WRITE = "uncached_write"    # 8-byte uncached device register write
+
+
+class AgentKind(enum.Enum):
+    """What sort of agent sits behind a bus port (affects Table-2 timing)."""
+
+    PROCESSOR = "processor"
+    NI_DEVICE = "ni"
+    MEMORY = "memory"
+    BRIDGE = "bridge"
+
+
+@dataclass
+class BusTransaction:
+    """A single bus transaction as seen by snoopers."""
+
+    op: BusOp
+    address: int
+    size: int
+    initiator: object
+    initiator_kind: AgentKind
+    issue_time: int = 0
+    # Filled in during the snoop phase:
+    supplier: Optional[object] = None
+    supplier_kind: Optional[AgentKind] = None
+    shared: bool = False
+    data_from_memory: bool = False
+
+    def describe(self) -> str:
+        return f"{self.op.value}@0x{self.address:08x}[{self.size}]"
+
+
+@dataclass
+class SnoopResponse:
+    """A snooper's answer to a bus transaction."""
+
+    supplies_data: bool = False
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open [start, end) physical address range."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty address range [{self.start:#x}, {self.end:#x})")
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class NetworkMessage:
+    """A fixed-size network message (256 bytes on the wire, 12-byte header).
+
+    ``payload_bytes`` is the number of user bytes carried (<= payload
+    capacity).  ``body`` optionally carries functional data used by
+    workloads (handler name, arguments); the simulator never inspects it.
+    """
+
+    source: int
+    dest: int
+    payload_bytes: int
+    seq: int = 0
+    body: Tuple = field(default_factory=tuple)
+    send_time: int = 0
+    inject_time: int = 0
+    deliver_time: int = 0
+    is_ack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")

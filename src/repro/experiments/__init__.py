@@ -1,0 +1,39 @@
+"""Experiment harness: microbenchmarks, macro runs, tables and figures."""
+
+from repro.experiments.macro import (
+    ALTERNATE_BUS_CONFIGS,
+    BASELINE,
+    IO_BUS_DEVICES,
+    MEMORY_BUS_DEVICES,
+    MacroRunResult,
+    bus_occupancy_reduction,
+    run_macrobenchmark,
+    speedup_sweep,
+)
+from repro.experiments.microbench import (
+    FIG6_MESSAGE_SIZES,
+    FIG7_MESSAGE_SIZES,
+    BandwidthResult,
+    LatencyResult,
+    MicrobenchmarkError,
+    bandwidth,
+    round_trip_latency,
+)
+
+__all__ = [
+    "round_trip_latency",
+    "bandwidth",
+    "LatencyResult",
+    "BandwidthResult",
+    "MicrobenchmarkError",
+    "FIG6_MESSAGE_SIZES",
+    "FIG7_MESSAGE_SIZES",
+    "run_macrobenchmark",
+    "speedup_sweep",
+    "bus_occupancy_reduction",
+    "MacroRunResult",
+    "MEMORY_BUS_DEVICES",
+    "IO_BUS_DEVICES",
+    "ALTERNATE_BUS_CONFIGS",
+    "BASELINE",
+]

@@ -1,0 +1,160 @@
+"""Series generators for every figure in the paper's evaluation section.
+
+Each function returns plain nested dictionaries (device -> x -> y) so that
+benchmarks, tests and the command-line report can consume them uniformly.
+The series are deliberately small enough to run on a laptop; pass
+``quick=True`` for an even smaller smoke-test sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.experiments.macro import (
+    ALTERNATE_BUS_CONFIGS,
+    IO_BUS_DEVICES,
+    MEMORY_BUS_DEVICES,
+    bus_occupancy_reduction,
+    speedup_sweep,
+)
+from repro.experiments.microbench import (
+    FIG6_MESSAGE_SIZES,
+    FIG7_MESSAGE_SIZES,
+    bandwidth,
+    round_trip_latency,
+)
+
+#: Workloads of Figure 8, in the paper's order.
+FIGURE8_WORKLOADS = ("spsolve", "gauss", "em3d", "moldyn", "appbt")
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — round-trip latency vs message size
+# ----------------------------------------------------------------------
+def figure6_latency(
+    sizes: Sequence[int] = FIG6_MESSAGE_SIZES,
+    iterations: int = 30,
+    quick: bool = False,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Round-trip latency (µs) for Figures 6a, 6b and 6c."""
+    if quick:
+        sizes = tuple(sizes)[:3]
+        iterations = 8
+    panels: Dict[str, Dict[str, Dict[int, float]]] = {"memory": {}, "io": {}, "alternate": {}}
+    for device in MEMORY_BUS_DEVICES:
+        panels["memory"][device] = {
+            size: round_trip_latency(device, "memory", size, iterations=iterations).round_trip_us
+            for size in sizes
+        }
+    for device in IO_BUS_DEVICES:
+        panels["io"][device] = {
+            size: round_trip_latency(device, "io", size, iterations=iterations).round_trip_us
+            for size in sizes
+        }
+    for device, bus in (("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")):
+        panels["alternate"][f"{device}@{bus}"] = {
+            size: round_trip_latency(device, bus, size, iterations=iterations).round_trip_us
+            for size in sizes
+        }
+    return panels
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — bandwidth vs message size
+# ----------------------------------------------------------------------
+def figure7_bandwidth(
+    sizes: Sequence[int] = FIG7_MESSAGE_SIZES,
+    messages: int = 100,
+    quick: bool = False,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Relative bandwidth (fraction of the 2-processor cache-to-cache
+    maximum) for Figures 7a, 7b and 7c, including CNI16Qm with snarfing."""
+    if quick:
+        sizes = tuple(sizes)[:3]
+        messages = 30
+    panels: Dict[str, Dict[str, Dict[int, float]]] = {"memory": {}, "io": {}, "alternate": {}}
+    for device in MEMORY_BUS_DEVICES:
+        panels["memory"][device] = {
+            size: bandwidth(device, "memory", size, messages=messages).relative_bandwidth
+            for size in sizes
+        }
+    panels["memory"]["CNI16Qm+snarf"] = {
+        size: bandwidth("CNI16Qm", "memory", size, messages=messages, snarfing=True).relative_bandwidth
+        for size in sizes
+    }
+    for device in IO_BUS_DEVICES:
+        panels["io"][device] = {
+            size: bandwidth(device, "io", size, messages=messages).relative_bandwidth
+            for size in sizes
+        }
+    for device, bus in (("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")):
+        panels["alternate"][f"{device}@{bus}"] = {
+            size: bandwidth(device, bus, size, messages=messages).relative_bandwidth
+            for size in sizes
+        }
+    return panels
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — macrobenchmark speedups
+# ----------------------------------------------------------------------
+def figure8_macro(
+    workloads: Sequence[str] = FIGURE8_WORKLOADS,
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    quick: bool = False,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Speedup over NI2w/memory for Figures 8a (memory bus), 8b (I/O bus)
+    and 8c (alternate buses)."""
+    if quick:
+        num_nodes = min(num_nodes, 8)
+        scale = min(scale, 0.25)
+        workloads = tuple(workloads)[:2]
+    panels: Dict[str, Dict[str, Dict[str, float]]] = {"memory": {}, "io": {}, "alternate": {}}
+    for workload in workloads:
+        memory_sweep = speedup_sweep(
+            workload,
+            [(device, "memory") for device in MEMORY_BUS_DEVICES],
+            num_nodes=num_nodes,
+            scale=scale,
+        )
+        io_sweep = speedup_sweep(
+            workload,
+            [(device, "io") for device in IO_BUS_DEVICES],
+            num_nodes=num_nodes,
+            scale=scale,
+        )
+        alt_sweep = speedup_sweep(
+            workload,
+            list(ALTERNATE_BUS_CONFIGS),
+            num_nodes=num_nodes,
+            scale=scale,
+        )
+        panels["memory"][workload] = {
+            key: value["speedup"] for key, value in memory_sweep.items()
+        }
+        panels["io"][workload] = {key: value["speedup"] for key, value in io_sweep.items()}
+        panels["alternate"][workload] = {
+            key: value["speedup"] for key, value in alt_sweep.items()
+        }
+    return panels
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — memory-bus occupancy reduction
+# ----------------------------------------------------------------------
+def occupancy_reduction(
+    workloads: Sequence[str] = FIGURE8_WORKLOADS,
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    quick: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Fractional memory-bus occupancy reduction vs NI2w per device."""
+    if quick:
+        num_nodes = min(num_nodes, 8)
+        scale = min(scale, 0.25)
+        workloads = tuple(workloads)[:2]
+    return {
+        workload: bus_occupancy_reduction(workload, num_nodes=num_nodes, scale=scale)
+        for workload in workloads
+    }

@@ -1,0 +1,209 @@
+"""Microbenchmarks: process-to-process round-trip latency and bandwidth.
+
+These reproduce the two microbenchmarks of Section 5.1: messages travel
+from a user buffer in the sending processor's cache, through the NI and the
+network, to a user buffer in the receiving processor's cache (so the
+numbers include the messaging-layer overhead, as in the paper).  Results
+are steady-state averages over many iterations after a warm-up period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.common.types import BusKind
+from repro.node.machine import Machine
+from repro.sim import Delay
+
+
+class MicrobenchmarkError(RuntimeError):
+    """Raised when a microbenchmark cannot complete."""
+
+
+#: Message sizes (user payload bytes) of Figure 6.
+FIG6_MESSAGE_SIZES = (8, 16, 32, 64, 128, 256)
+#: Message sizes (user payload bytes) of Figure 7.
+FIG7_MESSAGE_SIZES = (8, 16, 64, 256, 512, 1024, 2048, 4096)
+
+#: Poll backoff used by the microbenchmark loops (cycles).
+_POLL_BACKOFF = 10
+
+
+@dataclass
+class LatencyResult:
+    """Round-trip latency for one device/bus/message-size point."""
+
+    ni_name: str
+    bus: str
+    message_bytes: int
+    iterations: int
+    round_trip_cycles: float
+    snarfing: bool = False
+
+    @property
+    def round_trip_us(self) -> float:
+        return self.round_trip_cycles / 200.0
+
+    @property
+    def one_way_us(self) -> float:
+        return self.round_trip_us / 2.0
+
+
+@dataclass
+class BandwidthResult:
+    """Achievable bandwidth for one device/bus/message-size point."""
+
+    ni_name: str
+    bus: str
+    message_bytes: int
+    messages: int
+    total_cycles: int
+    max_bandwidth_mbps: float
+    snarfing: bool = False
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        bytes_per_cycle = (self.message_bytes * self.messages) / self.total_cycles
+        return bytes_per_cycle * 200.0  # bytes/us == MB/s at 200 MHz
+
+    @property
+    def relative_bandwidth(self) -> float:
+        if self.max_bandwidth_mbps <= 0:
+            return 0.0
+        return self.bandwidth_mbps / self.max_bandwidth_mbps
+
+
+def _build_pair(ni_name: str, bus: Union[str, BusKind], snarfing: bool) -> Machine:
+    """A two-node machine (sender node 0, receiver node 1)."""
+    return Machine.build(ni_name, bus, num_nodes=2, snarfing=snarfing)
+
+
+def round_trip_latency(
+    ni_name: str,
+    bus: Union[str, BusKind] = "memory",
+    message_bytes: int = 64,
+    iterations: int = 40,
+    warmup: int = 8,
+    snarfing: bool = False,
+    max_cycles: int = 400_000_000,
+) -> LatencyResult:
+    """Steady-state process-to-process round-trip latency (Figure 6)."""
+    if iterations < 1:
+        raise MicrobenchmarkError("need at least one measured iteration")
+    machine = _build_pair(ni_name, bus, snarfing)
+    ml0, ml1 = machine.messaging
+    total_rounds = warmup + iterations
+
+    pongs = {"count": 0}
+    pings = {"count": 0}
+    samples: List[int] = []
+
+    ml1.register_handler(
+        "ping",
+        lambda ml, src, nbytes, body: _count_and_reply(ml, src, nbytes, pings),
+    )
+    ml0.register_handler("pong", lambda ml, src, nbytes, body: pongs.__setitem__("count", pongs["count"] + 1))
+
+    def sender():
+        sim = machine.sim
+        for round_index in range(total_rounds):
+            start = sim.now
+            yield from ml0.send_active_message(1, "ping", message_bytes)
+            while pongs["count"] <= round_index:
+                got = yield from ml0.poll()
+                if not got:
+                    yield Delay(_POLL_BACKOFF)
+            if round_index >= warmup:
+                samples.append(sim.now - start)
+
+    def responder():
+        while pings["count"] < total_rounds:
+            got = yield from ml1.poll()
+            if not got:
+                yield Delay(_POLL_BACKOFF)
+
+    machine.run_programs([sender(), responder()], max_cycles=max_cycles)
+    if len(samples) != iterations:
+        raise MicrobenchmarkError(
+            f"expected {iterations} samples, collected {len(samples)}"
+        )
+    mean_cycles = sum(samples) / len(samples)
+    return LatencyResult(
+        ni_name=ni_name,
+        bus=str(bus if isinstance(bus, str) else bus.value),
+        message_bytes=message_bytes,
+        iterations=iterations,
+        round_trip_cycles=mean_cycles,
+        snarfing=snarfing,
+    )
+
+
+def _count_and_reply(ml, source: int, nbytes: int, pings: dict):
+    pings["count"] += 1
+    yield from ml.send_active_message(source, "pong", nbytes)
+
+
+def bandwidth(
+    ni_name: str,
+    bus: Union[str, BusKind] = "memory",
+    message_bytes: int = 256,
+    messages: int = 120,
+    warmup: int = 16,
+    snarfing: bool = False,
+    max_cycles: int = 800_000_000,
+) -> BandwidthResult:
+    """Steady-state process-to-process bandwidth (Figure 7).
+
+    Node 0 streams ``messages`` user messages of ``message_bytes`` each to
+    node 1 after a warm-up stream; the measured interval runs from the first
+    measured send to the receipt of the last message at node 1.
+    """
+    if messages < 1:
+        raise MicrobenchmarkError("need at least one measured message")
+    machine = _build_pair(ni_name, bus, snarfing)
+    ml0, ml1 = machine.messaging
+    total = warmup + messages
+
+    received = {"count": 0, "start": None, "end": None}
+
+    def on_data(ml, src, nbytes, body):
+        received["count"] += 1
+        if received["count"] == warmup + 1:
+            received["start_recv"] = machine.sim.now
+        if received["count"] == total:
+            received["end"] = machine.sim.now
+        return None
+
+    ml1.register_handler("data", on_data)
+
+    marks = {}
+
+    def sender():
+        for index in range(total):
+            if index == warmup:
+                marks["start"] = machine.sim.now
+            yield from ml0.send_active_message(1, "data", message_bytes)
+        marks["send_done"] = machine.sim.now
+
+    def receiver():
+        while received["count"] < total:
+            got = yield from ml1.poll()
+            if not got:
+                yield Delay(_POLL_BACKOFF)
+
+    machine.run_programs([sender(), receiver()], max_cycles=max_cycles)
+    if received["end"] is None or "start" not in marks:
+        raise MicrobenchmarkError("bandwidth run did not complete")
+    elapsed = received["end"] - marks["start"]
+    return BandwidthResult(
+        ni_name=ni_name,
+        bus=str(bus if isinstance(bus, str) else bus.value),
+        message_bytes=message_bytes,
+        messages=messages,
+        total_cycles=max(1, elapsed),
+        max_bandwidth_mbps=machine.params.max_local_cq_bandwidth_mbps(),
+        snarfing=snarfing,
+    )

@@ -1,0 +1,86 @@
+"""Plain-text formatting of experiment results (tables and figure series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines) + "\n"
+
+
+def format_series_panel(
+    panel: Mapping[str, Mapping[object, float]],
+    title: str = "",
+    x_label: str = "x",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a figure panel ({series: {x: y}}) as an aligned text table."""
+    if not panel:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    xs: List[object] = []
+    for series in panel.values():
+        for x in series:
+            if x not in xs:
+                xs.append(x)
+    rows = []
+    for name, series in panel.items():
+        row = {x_label: name}
+        for x in xs:
+            value = series.get(x)
+            row[str(x)] = value_format.format(value) if value is not None else "-"
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_figure(
+    figure: Mapping[str, Mapping[str, Mapping[object, float]]],
+    title: str,
+    x_label: str = "series",
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a whole figure ({panel: {series: {x: y}}})."""
+    chunks = [title, "=" * len(title)]
+    for panel_name, panel in figure.items():
+        chunks.append(
+            format_series_panel(
+                panel, title=f"[{panel_name}]", x_label=x_label, value_format=value_format
+            )
+        )
+    return "\n".join(chunks) + "\n"
+
+
+def format_speedups(figure: Mapping[str, Mapping[str, Mapping[str, float]]], title: str) -> str:
+    """Render Figure-8-style speedup panels (panel -> workload -> config -> x)."""
+    chunks = [title, "=" * len(title)]
+    for panel_name, panel in figure.items():
+        rows = []
+        configs: List[str] = []
+        for workload, values in panel.items():
+            for config in values:
+                if config not in configs:
+                    configs.append(config)
+        for workload, values in panel.items():
+            row = {"workload": workload}
+            for config in configs:
+                value = values.get(config)
+                row[config] = f"{value:.2f}" if value is not None else "-"
+            rows.append(row)
+        chunks.append(format_table(rows, title=f"[{panel_name} bus]"))
+    return "\n".join(chunks) + "\n"

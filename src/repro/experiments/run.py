@@ -1,0 +1,104 @@
+"""Command-line entry point to regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.run tables
+    python -m repro.experiments.run fig6 [--quick]
+    python -m repro.experiments.run fig7 [--quick]
+    python -m repro.experiments.run fig8 [--quick] [--scale 0.5] [--nodes 16]
+    python -m repro.experiments.run occupancy [--quick]
+    python -m repro.experiments.run all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import figures, report, tables
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text)
+    sys.stdout.flush()
+
+
+def run_tables() -> None:
+    _print(report.format_table(tables.table1_device_summary(), "Table 1: Network interface devices"))
+    _print("\n")
+    _print(report.format_table(tables.table2_bus_occupancy(), "Table 2: Bus occupancy (processor cycles)"))
+    _print("\n")
+    _print(report.format_table(tables.table3_macrobenchmarks(), "Table 3: Macrobenchmarks"))
+    _print("\n")
+    _print(report.format_table(tables.table4_related_work(), "Table 4: CNI vs other network interfaces"))
+    _print("\n")
+
+
+def run_fig6(quick: bool) -> None:
+    series = figures.figure6_latency(quick=quick)
+    _print(
+        report.format_figure(
+            series,
+            "Figure 6: round-trip latency (microseconds) vs message size (bytes)",
+            x_label="device",
+        )
+    )
+
+
+def run_fig7(quick: bool) -> None:
+    series = figures.figure7_bandwidth(quick=quick)
+    _print(
+        report.format_figure(
+            series,
+            "Figure 7: relative bandwidth (fraction of 2-processor max) vs message size (bytes)",
+            x_label="device",
+        )
+    )
+
+
+def run_fig8(quick: bool, scale: float, nodes: int) -> None:
+    series = figures.figure8_macro(quick=quick, scale=scale, num_nodes=nodes)
+    _print(report.format_speedups(series, "Figure 8: macrobenchmark speedup over NI2w on the memory bus"))
+
+
+def run_occupancy(quick: bool, scale: float, nodes: int) -> None:
+    series = figures.occupancy_reduction(quick=quick, scale=scale, num_nodes=nodes)
+    rows = []
+    for workload, values in series.items():
+        row = {"workload": workload}
+        row.update({device: f"{value:.1%}" for device, value in values.items()})
+        rows.append(row)
+    _print(report.format_table(rows, "Memory-bus occupancy reduction vs NI2w (Section 5.2)"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "experiment",
+        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument("--quick", action="store_true", help="smaller, faster sweep")
+    parser.add_argument("--scale", type=float, default=1.0, help="macrobenchmark problem scale")
+    parser.add_argument("--nodes", type=int, default=16, help="number of nodes for macrobenchmarks")
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    if args.experiment in ("tables", "all"):
+        run_tables()
+    if args.experiment in ("fig6", "all"):
+        run_fig6(args.quick)
+    if args.experiment in ("fig7", "all"):
+        run_fig7(args.quick)
+    if args.experiment in ("fig8", "all"):
+        run_fig8(args.quick, args.scale, args.nodes)
+    if args.experiment in ("occupancy", "all"):
+        run_occupancy(args.quick, args.scale, args.nodes)
+    _print(f"\n(done in {time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

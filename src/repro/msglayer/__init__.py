@@ -1,0 +1,17 @@
+"""Tempest-like active-message layer used by the macrobenchmarks."""
+
+from repro.msglayer.messaging import (
+    MessagingError,
+    MessagingLayer,
+    SEND_RETRY_BACKOFF_CYCLES,
+    SOFTWARE_BUFFER_BLOCKS,
+    SOFTWARE_OVERHEAD_CYCLES,
+)
+
+__all__ = [
+    "MessagingLayer",
+    "MessagingError",
+    "SOFTWARE_OVERHEAD_CYCLES",
+    "SEND_RETRY_BACKOFF_CYCLES",
+    "SOFTWARE_BUFFER_BLOCKS",
+]

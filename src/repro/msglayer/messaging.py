@@ -1,0 +1,339 @@
+"""Tempest-like user-level messaging layer built on the NI devices.
+
+The macrobenchmarks in the paper run on the Tempest parallel programming
+interface and communicate through active messages (plus custom protocols
+built from them).  This module provides that layer:
+
+* **active messages** — ``send_active_message`` fragments a user message
+  into fixed 256-byte network messages (12-byte header), sends them through
+  the NI and invokes the registered handler on the receiving node once the
+  whole user message has arrived;
+* **software flow control** — when a send cannot make progress (the NI send
+  interface is full because the hardware window or the remote queue backed
+  up), the sender drains incoming messages from its own NI and buffers them
+  in user-space memory, as the paper requires to avoid fetch deadlock.
+  Devices whose receive queue overflows to main memory (CNI16Qm) do not
+  need this buffering;
+* **barriers and broadcasts** — helpers used by the macrobenchmark
+  skeletons (gauss' one-to-all pivot broadcast, moldyn's reduction, the
+  end-of-phase barriers of all five applications).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.params import MachineParams
+from repro.common.types import NetworkMessage
+from repro.ni.base import AbstractNI
+from repro.node.processor import Processor
+from repro.sim import Counter, Delay, Simulator
+
+
+class MessagingError(RuntimeError):
+    """Raised for messaging-layer protocol violations."""
+
+
+#: Cycles spent by the messaging layer per send/receive for argument
+#: marshalling, handler dispatch and loop overhead.
+SOFTWARE_OVERHEAD_CYCLES = 10
+
+#: Cycles the processor waits between retries when its send is blocked and
+#: there is nothing to drain.
+SEND_RETRY_BACKOFF_CYCLES = 20
+
+#: Number of failed send attempts tolerated before the deadlock-avoidance
+#: drain kicks in.  A send interface is frequently busy for only a few tens
+#: of cycles (e.g. CNI4 finishing its pull of the previous message); draining
+#: on the very first failure would charge an extra NI poll for what is really
+#: just a short spin on the status register.
+DRAIN_AFTER_RETRIES = 2
+
+#: Number of cache blocks reserved per node for user-space message buffering.
+SOFTWARE_BUFFER_BLOCKS = 256
+
+
+@dataclass
+class _Fragment:
+    """Bookkeeping for one fragment of a user-level message."""
+
+    msg_id: int
+    index: int
+    count: int
+    handler: str
+    user_bytes: int
+    body: Tuple = ()
+
+
+@dataclass
+class _Reassembly:
+    fragments_seen: int = 0
+    total: int = 0
+    handler: str = ""
+    user_bytes: int = 0
+    body: Tuple = ()
+
+
+class MessagingLayer:
+    """Per-node user-level messaging layer (one per processor)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        processor: Processor,
+        ni: AbstractNI,
+        params: MachineParams,
+        dram_allocator,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.processor = processor
+        self.ni = ni
+        self.params = params
+        self.stats = Counter()
+        self._handlers: Dict[str, Callable] = {}
+        self._msg_ids = itertools.count()
+        self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
+        #: Messages drained from the NI while a send was blocked.
+        self._software_buffer: List[NetworkMessage] = []
+        self._software_buffer_base = dram_allocator.allocate_blocks(SOFTWARE_BUFFER_BLOCKS)
+        self._software_buffer_next = 0
+        # Barrier state.
+        self._barrier_seq = 0
+        self._barrier_arrivals: Dict[int, int] = {}
+        self._barrier_released: Dict[int, bool] = {}
+        self.register_handler("__barrier_arrive", self._on_barrier_arrive)
+        self.register_handler("__barrier_release", self._on_barrier_release)
+        # Filled in by the machine so barriers know the world size and the
+        # root node's messaging layer is addressable.
+        self.num_nodes = params.num_nodes
+
+    # ------------------------------------------------------------------
+    # Handler registry
+    # ------------------------------------------------------------------
+    def register_handler(self, name: str, handler: Callable) -> None:
+        """Register an active-message handler.
+
+        ``handler(ml, source, user_bytes, body)`` is invoked on the
+        receiving node; it may return a generator (run inside the polling
+        process) or ``None``.
+        """
+        if name in self._handlers:
+            raise MessagingError(f"handler {name!r} already registered on node {self.node_id}")
+        self._handlers[name] = handler
+
+    def has_handler(self, name: str) -> bool:
+        return name in self._handlers
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def fragments_needed(self, user_bytes: int) -> int:
+        capacity = self.params.network_payload_bytes
+        return max(1, (user_bytes + capacity - 1) // capacity)
+
+    def send_active_message(self, dest: int, handler: str, user_bytes: int, body: Tuple = ()):
+        """Send one user-level active message (generator).
+
+        The message is fragmented into network messages; each fragment is
+        pushed through the NI with the deadlock-avoidance drain loop.
+        """
+        if dest == self.node_id:
+            # Local delivery uses the same memory-based interface: hand the
+            # message straight to the local reassembly path (the uniform
+            # local/remote abstraction of Section 2.2).
+            yield from self.processor.compute(SOFTWARE_OVERHEAD_CYCLES)
+            yield from self._deliver_local(handler, user_bytes, body)
+            return
+        msg_id = next(self._msg_ids)
+        count = self.fragments_needed(user_bytes)
+        capacity = self.params.network_payload_bytes
+        remaining = user_bytes
+        for index in range(count):
+            chunk = min(capacity, remaining) if count > 1 else min(capacity, user_bytes)
+            remaining -= chunk
+            fragment = _Fragment(
+                msg_id=msg_id,
+                index=index,
+                count=count,
+                handler=handler,
+                user_bytes=user_bytes,
+                body=body if index == count - 1 else (),
+            )
+            netmsg = NetworkMessage(
+                source=self.node_id,
+                dest=dest,
+                payload_bytes=chunk,
+                seq=msg_id,
+                body=fragment,
+            )
+            yield from self.processor.compute(SOFTWARE_OVERHEAD_CYCLES)
+            yield from self._send_network_message(netmsg)
+        self.stats.add("user_messages_sent")
+        self.stats.add("user_bytes_sent", user_bytes)
+
+    def broadcast(self, handler: str, user_bytes: int, body: Tuple = ()):
+        """One-to-all broadcast (a loop of point-to-point sends)."""
+        for dest in range(self.num_nodes):
+            if dest == self.node_id:
+                continue
+            yield from self.send_active_message(dest, handler, user_bytes, body)
+        self.stats.add("broadcasts")
+
+    def _send_network_message(self, netmsg: NetworkMessage):
+        """Push one network message into the NI, draining if blocked."""
+        attempts = 0
+        while True:
+            accepted = yield from self.ni.proc_try_send(netmsg)
+            if accepted:
+                self.stats.add("network_messages_sent")
+                return
+            attempts += 1
+            self.stats.add("send_blocked")
+            if attempts <= DRAIN_AFTER_RETRIES:
+                # Transient busy (e.g. the device is still pulling the
+                # previous message): just spin on the send interface.
+                yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            else:
+                yield from self._drain_while_blocked()
+
+    def _drain_while_blocked(self):
+        """Deadlock avoidance while a send is blocked.
+
+        Devices that overflow to main memory automatically (CNI16Qm) do not
+        require the processor to extract messages; everything else drains
+        one message from the NI into the user-space software buffer.
+        """
+        if getattr(self.ni, "recv_home", "device") == "memory":
+            yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            return
+        message = yield from self.ni.proc_poll()
+        if message is None:
+            yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            return
+        # Copy the message into user-space memory (paying the store traffic).
+        buffer_addr = self._next_buffer_addr()
+        yield from self.processor.touch_write(buffer_addr, self.ni.wire_bytes(message))
+        self._software_buffer.append(message)
+        self.stats.add("messages_software_buffered")
+
+    def _next_buffer_addr(self) -> int:
+        block = self.params.cache_block_bytes
+        addr = self._software_buffer_base + (self._software_buffer_next % SOFTWARE_BUFFER_BLOCKS) * block
+        self._software_buffer_next += self.params.blocks_per_network_message
+        return addr
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def poll(self):
+        """Poll for one incoming network message (generator).
+
+        Returns True if a message was consumed (and its handler run when it
+        completed a user-level message), False if nothing was available.
+        """
+        if self._software_buffer:
+            message = self._software_buffer.pop(0)
+            # Re-read the buffered copy from user-space memory.
+            yield from self.processor.touch_read(
+                self._software_buffer_base, self.ni.wire_bytes(message)
+            )
+            self.stats.add("software_buffer_polls")
+        else:
+            message = yield from self.ni.proc_poll()
+            if message is None:
+                return False
+        yield from self.processor.compute(SOFTWARE_OVERHEAD_CYCLES)
+        yield from self._handle_fragment(message)
+        return True
+
+    def poll_n(self, count: int):
+        """Poll until ``count`` messages have been consumed."""
+        consumed = 0
+        while consumed < count:
+            got = yield from self.poll()
+            if got:
+                consumed += 1
+            else:
+                yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+
+    def _handle_fragment(self, message: NetworkMessage):
+        fragment = message.body
+        if not isinstance(fragment, _Fragment):
+            raise MessagingError(
+                f"node {self.node_id}: received a non-messaging-layer payload {fragment!r}"
+            )
+        key = (message.source, fragment.msg_id)
+        state = self._reassembly.setdefault(key, _Reassembly(total=fragment.count))
+        state.fragments_seen += 1
+        state.handler = fragment.handler
+        state.user_bytes = fragment.user_bytes
+        if fragment.body:
+            state.body = fragment.body
+        self.stats.add("network_messages_received")
+        if state.fragments_seen < state.total:
+            return
+        del self._reassembly[key]
+        self.stats.add("user_messages_received")
+        self.stats.add("user_bytes_received", state.user_bytes)
+        yield from self._dispatch(state.handler, message.source, state.user_bytes, state.body)
+
+    def _deliver_local(self, handler: str, user_bytes: int, body: Tuple):
+        self.stats.add("user_messages_sent")
+        self.stats.add("user_messages_received")
+        self.stats.add("local_deliveries")
+        yield from self._dispatch(handler, self.node_id, user_bytes, body)
+
+    def _dispatch(self, handler_name: str, source: int, user_bytes: int, body: Tuple):
+        handler = self._handlers.get(handler_name)
+        if handler is None:
+            raise MessagingError(
+                f"node {self.node_id}: no handler registered for {handler_name!r}"
+            )
+        result = handler(self, source, user_bytes, body)
+        if result is not None:
+            yield from result
+        else:
+            yield Delay(0)
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+    def barrier(self, participants: Optional[int] = None):
+        """A simple AM-based barrier across all nodes (root = node 0)."""
+        world = participants if participants is not None else self.num_nodes
+        seq = self._barrier_seq
+        self._barrier_seq += 1
+        if world <= 1:
+            return
+        if self.node_id == 0:
+            # Root: count arrivals from everyone else, then release.
+            self._barrier_arrivals.setdefault(seq, 0)
+            while self._barrier_arrivals.get(seq, 0) < world - 1:
+                got = yield from self.poll()
+                if not got:
+                    yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            for dest in range(1, world):
+                yield from self.send_active_message(dest, "__barrier_release", 8, (seq,))
+            self._barrier_arrivals.pop(seq, None)
+        else:
+            yield from self.send_active_message(0, "__barrier_arrive", 8, (seq,))
+            while not self._barrier_released.get(seq, False):
+                got = yield from self.poll()
+                if not got:
+                    yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            self._barrier_released.pop(seq, None)
+        self.stats.add("barriers")
+
+    def _on_barrier_arrive(self, ml, source, user_bytes, body):
+        seq = body[0] if body else 0
+        self._barrier_arrivals[seq] = self._barrier_arrivals.get(seq, 0) + 1
+        return None
+
+    def _on_barrier_release(self, ml, source, user_bytes, body):
+        seq = body[0] if body else 0
+        self._barrier_released[seq] = True
+        return None

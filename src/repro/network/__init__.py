@@ -1,0 +1,5 @@
+"""Network substrate: fixed-latency fabric and sliding-window flow control."""
+
+from repro.network.fabric import NetworkError, NetworkFabric, SlidingWindow
+
+__all__ = ["NetworkFabric", "SlidingWindow", "NetworkError"]

@@ -1,0 +1,141 @@
+"""Network fabric model.
+
+Following the paper (Section 4.1), network topology is ignored: every
+message takes a fixed 100 processor cycles from injection at the source NI
+to arrival at the destination NI.  End-point flow control is a hardware
+sliding window of four outstanding network messages per destination;
+acknowledgements are returned by the receiving NI when it accepts a message
+into its receive queue and also take the fixed network latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.params import MachineParams
+from repro.common.types import NetworkMessage
+from repro.sim import Counter, Samples, Signal, Simulator
+
+
+class NetworkError(RuntimeError):
+    """Raised on fabric misuse (unknown endpoints, bad messages)."""
+
+
+class NetworkFabric:
+    """Fixed-latency, point-to-point ordered message fabric."""
+
+    def __init__(self, sim: Simulator, params: MachineParams):
+        self.sim = sim
+        self.params = params
+        self._endpoints: Dict[int, Callable[[NetworkMessage], None]] = {}
+        self._ack_handlers: Dict[int, Callable[[int], None]] = {}
+        self.stats = Counter()
+        self.latency_samples = Samples()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        node_id: int,
+        on_message: Callable[[NetworkMessage], None],
+        on_ack: Callable[[int], None],
+    ) -> None:
+        """Attach an NI endpoint.
+
+        ``on_message(msg)`` is invoked when a network message arrives at this
+        node; ``on_ack(source_node)`` when an acknowledgement from a prior
+        send to ``source_node`` comes back.
+        """
+        if node_id in self._endpoints:
+            raise NetworkError(f"node {node_id} already attached to fabric")
+        self._endpoints[node_id] = on_message
+        self._ack_handlers[node_id] = on_ack
+
+    def detach(self, node_id: int) -> None:
+        self._endpoints.pop(node_id, None)
+        self._ack_handlers.pop(node_id, None)
+
+    @property
+    def node_ids(self):
+        return tuple(sorted(self._endpoints))
+
+    # ------------------------------------------------------------------
+    # Message transport
+    # ------------------------------------------------------------------
+    def inject(self, message: NetworkMessage) -> None:
+        """Inject a message; it arrives at the destination after the fixed latency."""
+        if message.dest not in self._endpoints:
+            raise NetworkError(f"message to unattached node {message.dest}")
+        if message.source not in self._endpoints:
+            raise NetworkError(f"message from unattached node {message.source}")
+        message.inject_time = self.sim.now
+        self.stats.add("messages_injected")
+        self.stats.add("payload_bytes", message.payload_bytes)
+        self.sim.schedule(
+            self.params.network_latency_cycles, self._deliver, message
+        )
+
+    def _deliver(self, message: NetworkMessage) -> None:
+        message.deliver_time = self.sim.now
+        self.stats.add("messages_delivered")
+        self.latency_samples.record(message.deliver_time - message.inject_time)
+        self._endpoints[message.dest](message)
+
+    def send_ack(self, from_node: int, to_node: int) -> None:
+        """Send a hardware-level acknowledgement from ``from_node`` back to
+        ``to_node`` (the original sender)."""
+        if to_node not in self._ack_handlers:
+            raise NetworkError(f"ack to unattached node {to_node}")
+        self.stats.add("acks_sent")
+        self.sim.schedule(
+            self.params.network_latency_cycles, self._deliver_ack, from_node, to_node
+        )
+
+    def _deliver_ack(self, from_node: int, to_node: int) -> None:
+        self.stats.add("acks_delivered")
+        self._ack_handlers[to_node](from_node)
+
+
+class SlidingWindow:
+    """Per-destination hardware sliding window at one sending NI.
+
+    The paper allows up to four network messages in flight per destination
+    before the sender must block waiting for acknowledgements.
+    """
+
+    def __init__(self, sim: Simulator, params: MachineParams, node_id: int):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.window = params.sliding_window
+        self._outstanding: Dict[int, int] = {}
+        #: Fired whenever an ack frees a window slot (payload: destination).
+        self.slot_freed = Signal(sim, name=f"ni{node_id}.window-freed")
+        self.stats = Counter()
+
+    def outstanding(self, dest: int) -> int:
+        return self._outstanding.get(dest, 0)
+
+    def can_send(self, dest: int) -> bool:
+        return self.outstanding(dest) < self.window
+
+    def reserve(self, dest: int) -> None:
+        if not self.can_send(dest):
+            raise NetworkError(
+                f"node {self.node_id}: window to {dest} already full "
+                f"({self.outstanding(dest)}/{self.window})"
+            )
+        self._outstanding[dest] = self.outstanding(dest) + 1
+        self.stats.add("reservations")
+
+    def on_ack(self, dest: int) -> None:
+        count = self.outstanding(dest)
+        if count <= 0:
+            raise NetworkError(f"node {self.node_id}: spurious ack from {dest}")
+        self._outstanding[dest] = count - 1
+        self.stats.add("acks")
+        self.slot_freed.fire(dest)
+
+    def total_outstanding(self) -> int:
+        return sum(self._outstanding.values())

@@ -1,0 +1,44 @@
+"""Network interface devices: the conventional NI2w and the coherent CNIs."""
+
+from repro.ni.base import AbstractNI, DeviceHomeAgent, NIError, DEVICE_PROCESSING_CYCLES
+from repro.ni.cni4 import CNI4
+from repro.ni.cniq import CNI16Q, CNI512Q, CNI16Qm, CoherentQueueNI
+from repro.ni.cq import CachableQueue, QueueError, SenseReverseQueue, sense_for_pass
+from repro.ni.ni2w import NI2w
+from repro.ni.taxonomy import (
+    EVALUATED_DEVICES,
+    NISpec,
+    TaxonomyError,
+    available_devices,
+    classify_existing_machines,
+    create_ni,
+    device_class,
+    parse_ni_name,
+    register_device,
+)
+
+__all__ = [
+    "AbstractNI",
+    "DeviceHomeAgent",
+    "NIError",
+    "DEVICE_PROCESSING_CYCLES",
+    "NI2w",
+    "CNI4",
+    "CoherentQueueNI",
+    "CNI16Q",
+    "CNI512Q",
+    "CNI16Qm",
+    "CachableQueue",
+    "SenseReverseQueue",
+    "QueueError",
+    "sense_for_pass",
+    "NISpec",
+    "TaxonomyError",
+    "parse_ni_name",
+    "create_ni",
+    "device_class",
+    "register_device",
+    "available_devices",
+    "classify_existing_machines",
+    "EVALUATED_DEVICES",
+]

@@ -1,0 +1,266 @@
+"""Common infrastructure shared by all network-interface devices.
+
+Every NI device exposes the same two-sided interface:
+
+* **Processor side** — generator methods called from the local processor's
+  simulation process (via the messaging layer): ``proc_try_send`` and
+  ``proc_poll``.  These perform the loads, stores and coherent block
+  accesses the paper charges to the processor.
+* **Device side** — simulation processes owned by the device: an *injection*
+  process that moves messages from the send interface into the network
+  (respecting the hardware sliding window), and an *extraction* process that
+  accepts arriving network messages into the receive interface and returns
+  hardware acknowledgements.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.common.addrmap import AddressMap, RegionAllocator
+from repro.common.params import MachineParams
+from repro.common.types import (
+    AgentKind,
+    BusKind,
+    BusOp,
+    BusTransaction,
+    NetworkMessage,
+    SnoopResponse,
+)
+from repro.coherence.bus import NodeInterconnect
+from repro.network.fabric import NetworkFabric, SlidingWindow
+from repro.sim import Counter, Delay, Signal, Simulator, start_process
+
+
+class NIError(RuntimeError):
+    """Raised for network-interface protocol violations."""
+
+
+#: Cycles of internal device processing to launch/accept one network message
+#: (header generation, CRC, routing decision).  Small compared to bus costs.
+DEVICE_PROCESSING_CYCLES = 4
+
+
+class DeviceHomeAgent:
+    """Bus agent representing the NI device as the *home* of its own
+    device-register and device-homed queue addresses.
+
+    It also terminates uncached register reads/writes, forwarding them to the
+    owning device's ``uncached_read``/``uncached_write`` hooks.
+    """
+
+    def __init__(self, device: "AbstractNI", name: str):
+        self.device = device
+        self.name = name
+        self.agent_kind = AgentKind.NI_DEVICE
+        self.bus_kind = device.bus_kind
+
+    def is_home(self, address: int) -> bool:
+        addrmap = self.device.addrmap
+        return addrmap.is_ni_homed(address) or addrmap.is_uncached(address)
+
+    def snoop(self, txn: BusTransaction) -> SnoopResponse:
+        if txn.op is BusOp.UNCACHED_READ and self.device.addrmap.is_uncached(txn.address):
+            self.device.uncached_read(txn.address)
+        elif txn.op is BusOp.UNCACHED_WRITE and self.device.addrmap.is_uncached(txn.address):
+            self.device.uncached_write(txn.address)
+        return SnoopResponse()
+
+
+class AbstractNI(abc.ABC):
+    """Base class for the five evaluated network interfaces."""
+
+    #: Taxonomy name, e.g. ``"CNI16Qm"``; set by subclasses.
+    taxonomy_name = "NI"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: MachineParams,
+        addrmap: AddressMap,
+        interconnect: NodeInterconnect,
+        fabric: NetworkFabric,
+        bus_kind: BusKind = BusKind.MEMORY,
+        dram_allocator: Optional[RegionAllocator] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.addrmap = addrmap
+        self.interconnect = interconnect
+        self.fabric = fabric
+        self.bus_kind = bus_kind
+        self.agent_kind = AgentKind.NI_DEVICE
+        self.name = f"node{node_id}.{self.taxonomy_name}"
+        self.stats = Counter()
+
+        # Device address regions.
+        self._homed_alloc = RegionAllocator(addrmap.ni_homed, params.cache_block_bytes)
+        self._uncached_alloc = RegionAllocator(addrmap.ni_uncached, params.cache_block_bytes)
+        self._dram_alloc: Optional[RegionAllocator] = dram_allocator
+
+        # Network-side machinery.
+        self.window = SlidingWindow(sim, params, node_id)
+        self._net_in: List[NetworkMessage] = []
+        self._net_in_signal = Signal(sim, name=f"{self.name}.net-in")
+        self._inject_signal = Signal(sim, name=f"{self.name}.inject")
+        fabric.attach(node_id, self._on_network_message, self.window.on_ack)
+
+        # The home agent makes the device answer for its own addresses.
+        self.home_agent = DeviceHomeAgent(self, f"{self.name}.home")
+        interconnect.attach(self.home_agent)
+
+        self._processes_started = False
+
+    # ------------------------------------------------------------------
+    # Region allocation helpers for subclasses
+    # ------------------------------------------------------------------
+    def allocate_device_blocks(self, num_blocks: int) -> int:
+        """Allocate device-homed coherent blocks (CDRs, device-homed CQs)."""
+        return self._homed_alloc.allocate_blocks(num_blocks)
+
+    def allocate_uncached_register(self) -> int:
+        """Allocate one 8-byte uncached device register address."""
+        return self._uncached_alloc.allocate(self.params.uncached_access_bytes, align_to_block=False)
+
+    def set_dram_allocator(self, allocator: RegionAllocator) -> None:
+        """Provide a main-memory allocator (used by memory-homed queues)."""
+        self._dram_alloc = allocator
+
+    def allocate_dram_blocks(self, num_blocks: int) -> int:
+        if self._dram_alloc is None:
+            raise NIError(f"{self.name}: no DRAM allocator configured")
+        return self._dram_alloc.allocate_blocks(num_blocks)
+
+    # ------------------------------------------------------------------
+    # Device processes
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the device-side injection and extraction processes."""
+        if self._processes_started:
+            return
+        self._processes_started = True
+        start_process(self.sim, self._injection_process(), name=f"{self.name}.inject")
+        start_process(self.sim, self._extraction_process(), name=f"{self.name}.extract")
+
+    def _on_network_message(self, message: NetworkMessage) -> None:
+        """Fabric delivery callback: queue the message for extraction."""
+        self._net_in.append(message)
+        self.stats.add("network_arrivals")
+        self._net_in_signal.fire()
+
+    def _wait_for_window(self, dest: int):
+        """Generator: wait until the sliding window to ``dest`` has room."""
+        while not self.window.can_send(dest):
+            self.stats.add("window_stalls")
+            yield self.window.slot_freed
+
+    def _inject(self, message: NetworkMessage) -> None:
+        """Reserve a window slot and put the message on the wire."""
+        self.window.reserve(message.dest)
+        self.stats.add("messages_injected")
+        self.fabric.inject(message)
+
+    def _ack(self, message: NetworkMessage) -> None:
+        """Send the hardware acknowledgement for an accepted message."""
+        if not message.is_ack:
+            self.fabric.send_ack(self.node_id, message.source)
+            self.stats.add("acks_returned")
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def proc_try_send(self, message: NetworkMessage):
+        """Processor-side send of one network message.
+
+        Generator.  Returns True if the message was handed to the NI, or
+        False if the send interface is currently full (the messaging layer
+        then drains incoming messages and retries, per the paper's
+        deadlock-avoidance rule).
+        """
+
+    @abc.abstractmethod
+    def proc_poll(self):
+        """Processor-side poll of the receive interface.
+
+        Generator.  Returns the next :class:`NetworkMessage` if one is
+        available, otherwise ``None``.
+        """
+
+    @abc.abstractmethod
+    def _injection_process(self):
+        """Device-side process moving messages from the send interface into
+        the network."""
+
+    @abc.abstractmethod
+    def _extraction_process(self):
+        """Device-side process accepting network arrivals into the receive
+        interface."""
+
+    # ------------------------------------------------------------------
+    # Uncached register hooks (overridden where needed)
+    # ------------------------------------------------------------------
+    def uncached_read(self, address: int) -> None:
+        """Called when the processor reads an uncached device register."""
+
+    def uncached_write(self, address: int) -> None:
+        """Called when the processor writes an uncached device register."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def wire_bytes(self, message: NetworkMessage) -> int:
+        """Bytes of the network message actually written/read by software."""
+        return self.params.network_header_bytes + message.payload_bytes
+
+    def words_for(self, message: NetworkMessage) -> int:
+        """Number of 8-byte uncached accesses needed to move the message."""
+        width = self.params.uncached_access_bytes
+        return (self.wire_bytes(message) + width - 1) // width
+
+    def blocks_for(self, message: NetworkMessage) -> int:
+        """Number of cache blocks the message occupies."""
+        block = self.params.cache_block_bytes
+        return (self.wire_bytes(message) + block - 1) // block
+
+    def uncached_load(self, register: int):
+        """Generator: one uncached 8-byte load from a device register.
+
+        Besides the bus occupancy, the issuing processor stalls for the
+        arbitration/response latency of the load (uncached loads cannot be
+        buffered the way stores can).
+        """
+        self.stats.add("uncached_loads")
+        yield from self.interconnect.transaction(
+            self._processor_agent(), BusOp.UNCACHED_READ, register, self.params.uncached_access_bytes
+        )
+        yield Delay(self.params.uncached_load_extra_cycles.get(self.bus_kind, 0))
+
+    def uncached_store(self, register: int):
+        """Generator: one uncached 8-byte store to a device register."""
+        self.stats.add("uncached_stores")
+        yield from self.interconnect.transaction(
+            self._processor_agent(), BusOp.UNCACHED_WRITE, register, self.params.uncached_access_bytes
+        )
+
+    def memory_barrier(self):
+        """Generator: drain the processor store buffer."""
+        yield Delay(self.params.memory_barrier_cycles)
+
+    def _processor_agent(self):
+        """The agent on whose behalf processor-side uncached accesses run."""
+        if self._proc_cache is None:
+            raise NIError(f"{self.name}: processor cache not bound")
+        return self._proc_cache
+
+    # Set by the node assembly once the processor cache exists.
+    _proc_cache = None
+
+    def bind_processor_cache(self, cache) -> None:
+        self._proc_cache = cache
+
+    def describe(self) -> str:
+        return f"{self.taxonomy_name} on the {self.bus_kind.value} bus (node {self.node_id})"

@@ -1,0 +1,302 @@
+"""CQ-based coherent network interfaces: CNI16Q, CNI512Q and CNI16Qm.
+
+Each direction (send and receive) is a cachable queue of 256-byte network
+messages (4 cache blocks per entry).  The processor and the device
+communicate purely through coherent block accesses plus one uncached
+"message ready" store per send (paper Section 3):
+
+* **send queue** (processor → device): the processor checks its lazy shadow
+  of the device-written head pointer, writes the message blocks, bumps its
+  private tail pointer and issues the uncached message-ready store.  The
+  device pulls the blocks out of the processor cache and injects them.
+* **receive queue** (device → processor): the device checks its lazy shadow
+  of the processor-written head pointer, writes the message blocks (whole
+  blocks, so misses cost only an invalidation) and commits the valid word
+  last.  The processor polls the valid word of the head entry — a cache hit
+  while the queue is empty — and reads the message blocks on arrival.
+
+``CNI16Q`` and ``CNI512Q`` home both queues on the device; ``CNI16Qm`` homes
+the receive queue in main memory with a 16-block device cache in front of
+it, so bursts overflow smoothly to memory instead of backing up the network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coherence.cache import CoherentCache
+from repro.common.types import AgentKind, NetworkMessage
+from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
+from repro.ni.cq import CachableQueue
+from repro.sim import Delay, Signal
+
+
+class CoherentQueueNI(AbstractNI):
+    """Generic CQ-based CNI, parameterized by queue and device-cache sizes."""
+
+    taxonomy_name = "CNIQ"
+
+    def __init__(
+        self,
+        *args,
+        send_queue_blocks: int = 16,
+        recv_queue_blocks: int = 16,
+        recv_cache_blocks: Optional[int] = None,
+        recv_home: str = "device",
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if recv_home not in ("device", "memory"):
+            raise NIError(f"unknown receive-queue home {recv_home!r}")
+        self.recv_home = recv_home
+        blocks_per_entry = self.params.blocks_per_network_message
+        if send_queue_blocks % blocks_per_entry or recv_queue_blocks % blocks_per_entry:
+            raise NIError("queue sizes must be whole network messages")
+        if recv_cache_blocks is None:
+            recv_cache_blocks = recv_queue_blocks
+        block_bytes = self.params.cache_block_bytes
+
+        # --- Address allocation ----------------------------------------
+        send_base = self.allocate_device_blocks(send_queue_blocks)
+        if recv_home == "device":
+            recv_base = self.allocate_device_blocks(recv_queue_blocks)
+        else:
+            recv_base = self.allocate_dram_blocks(recv_queue_blocks)
+        # Pointer blocks live in ordinary main memory (they are plain
+        # cachable memory shared by processor and device).
+        self.send_head_ptr_addr = self.allocate_dram_blocks(1)
+        self.send_tail_ptr_addr = self.allocate_dram_blocks(1)
+        self.recv_head_ptr_addr = self.allocate_dram_blocks(1)
+        self.msg_ready_reg = self.allocate_uncached_register()
+
+        # --- Functional queue state --------------------------------------
+        self.send_q = CachableQueue(
+            name=f"{self.name}.sendq",
+            base_addr=send_base,
+            num_blocks=send_queue_blocks,
+            blocks_per_entry=blocks_per_entry,
+            block_bytes=block_bytes,
+            head_ptr_addr=self.send_head_ptr_addr,
+            tail_ptr_addr=self.send_tail_ptr_addr,
+        )
+        self.recv_q = CachableQueue(
+            name=f"{self.name}.recvq",
+            base_addr=recv_base,
+            num_blocks=recv_queue_blocks,
+            blocks_per_entry=blocks_per_entry,
+            block_bytes=block_bytes,
+            head_ptr_addr=self.recv_head_ptr_addr,
+            tail_ptr_addr=0,  # the device tail is internal device state
+        )
+
+        # --- Device caches ------------------------------------------------
+        self.send_cache = CoherentCache(
+            self.sim,
+            f"{self.name}.send-cache",
+            self.interconnect,
+            self.params,
+            self.addrmap,
+            size_bytes=send_queue_blocks * block_bytes,
+            agent_kind=AgentKind.NI_DEVICE,
+            bus_kind=self.bus_kind,
+        )
+        self.recv_cache = CoherentCache(
+            self.sim,
+            f"{self.name}.recv-cache",
+            self.interconnect,
+            self.params,
+            self.addrmap,
+            size_bytes=recv_cache_blocks * block_bytes,
+            agent_kind=AgentKind.NI_DEVICE,
+            bus_kind=self.bus_kind,
+        )
+        self.ptr_cache = CoherentCache(
+            self.sim,
+            f"{self.name}.ptr-cache",
+            self.interconnect,
+            self.params,
+            self.addrmap,
+            size_bytes=4 * block_bytes,
+            agent_kind=AgentKind.NI_DEVICE,
+            bus_kind=self.bus_kind,
+        )
+
+        # --- Device-side signals ------------------------------------------
+        self._send_ready_signal = Signal(self.sim, name=f"{self.name}.send-ready")
+        self._recv_head_advanced = Signal(self.sim, name=f"{self.name}.head-advanced")
+
+    # ------------------------------------------------------------------
+    # Uncached register hooks
+    # ------------------------------------------------------------------
+    def uncached_write(self, address: int) -> None:
+        if address == self.msg_ready_reg:
+            self.stats.add("message_ready_signals")
+            self._send_ready_signal.fire()
+
+    # ------------------------------------------------------------------
+    # Processor side
+    # ------------------------------------------------------------------
+    def proc_try_send(self, message: NetworkMessage):
+        proc = self._processor_agent()
+        sq = self.send_q
+        # 1. Space check against the lazy shadow of the device-written head.
+        #    The tail pointer and shadow live in the sender's private block.
+        yield from proc.read_block(sq.tail_ptr_addr)
+        if sq.full_by_shadow():
+            self.stats.add("send_shadow_refreshes")
+            yield from proc.read_block(sq.head_ptr_addr)
+            sq.refresh_shadow()
+            if sq.full_by_shadow():
+                self.stats.add("send_full")
+                return False
+        # 2. Write the message into the queue entry, one block at a time,
+        #    copying the data out of the user buffer.
+        slot = sq.tail_index()
+        for addr in sq.entry_block_addrs(slot, self.blocks_for(message)):
+            yield from proc.write_block(addr)
+            yield Delay(self.params.block_copy_cycles)
+        message.send_time = self.sim.now
+        sq.enqueue(message)
+        # 3. Bump the private tail pointer (cache hit).
+        yield from proc.write_block(sq.tail_ptr_addr)
+        # 4. Message-ready signal: one uncached store to the device.
+        yield from self.uncached_store(self.msg_ready_reg)
+        self.stats.add("messages_sent")
+        return True
+
+    def proc_poll(self):
+        proc = self._processor_agent()
+        rq = self.recv_q
+        slot = rq.head_index()
+        # 1. Examine the valid word of the head entry; hits in the cache
+        #    while the queue is empty, misses when the device wrote a new
+        #    message (the write invalidated our copy).
+        yield from proc.read_block(rq.valid_word_addr(slot))
+        self.stats.add("polls")
+        message = rq.peek()
+        if message is None:
+            self.stats.add("empty_polls")
+            return None
+        # 2. Read the rest of the message blocks, copying each into the
+        #    user-level buffer.
+        yield Delay(self.params.block_copy_cycles)
+        for addr in rq.entry_block_addrs(slot, self.blocks_for(message))[1:]:
+            yield from proc.read_block(addr)
+            yield Delay(self.params.block_copy_cycles)
+        rq.dequeue()
+        # 3. Advance the head pointer (receiver-private block, usually a hit).
+        yield from proc.write_block(rq.head_ptr_addr)
+        self._recv_head_advanced.fire()
+        self.stats.add("messages_received")
+        return message
+
+    # ------------------------------------------------------------------
+    # Device side
+    # ------------------------------------------------------------------
+    def _injection_process(self):
+        sq = self.send_q
+        while True:
+            if sq.empty():
+                yield self._send_ready_signal
+                continue
+            slot = sq.head_index()
+            message = sq.entries[slot].message
+            yield from self._wait_for_window(message.dest)
+            # Pull the message blocks out of the processor cache.  Injection
+            # is cut-through: once the first block has been read the message
+            # starts down the wire and the remaining blocks stream behind it.
+            blocks = sq.entry_block_addrs(slot, self.blocks_for(message))
+            yield from self.send_cache.read_block(blocks[0])
+            yield Delay(DEVICE_PROCESSING_CYCLES)
+            self._inject(message)
+            for addr in blocks[1:]:
+                yield from self.send_cache.read_block(addr)
+            sq.dequeue()
+            # Advance the device-written head pointer so the processor's
+            # lazy shadow can eventually observe the free space.
+            yield from self.ptr_cache.write_block(sq.head_ptr_addr)
+
+    def _extraction_process(self):
+        rq = self.recv_q
+        while True:
+            if not self._net_in:
+                yield self._net_in_signal
+                continue
+            # Space check against the device's lazy shadow of the processor
+            # head pointer.
+            if rq.full_by_shadow():
+                self.stats.add("recv_shadow_refreshes")
+                yield from self.ptr_cache.read_block(rq.head_ptr_addr)
+                rq.refresh_shadow()
+                if rq.full_by_shadow():
+                    # Receive queue genuinely full: back-pressure the network
+                    # until the processor drains a message.
+                    self.stats.add("recv_queue_full_stalls")
+                    yield self._recv_head_advanced
+                    continue
+            message = self._net_in.pop(0)
+            slot = rq.tail_index()
+            blocks = rq.entry_block_addrs(slot, self.blocks_for(message))
+            # Write the message body first, then commit the valid word by
+            # re-touching the first block (normally a device-cache hit).
+            for addr in blocks:
+                yield from self.recv_cache.write_block_full(addr)
+            yield from self.recv_cache.write_block(blocks[0])
+            yield Delay(DEVICE_PROCESSING_CYCLES)
+            rq.enqueue(message)
+            self.stats.add("messages_accepted")
+            self._ack(message)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def queue_occupancies(self) -> dict:
+        return {
+            "send": self.send_q.occupancy,
+            "recv": self.recv_q.occupancy,
+            "net_in": len(self._net_in),
+        }
+
+
+class CNI16Q(CoherentQueueNI):
+    """16-block (4-message) device-homed cachable queues."""
+
+    taxonomy_name = "CNI16Q"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("send_queue_blocks", 16)
+        kwargs.setdefault("recv_queue_blocks", 16)
+        kwargs.setdefault("recv_home", "device")
+        super().__init__(*args, **kwargs)
+
+
+class CNI512Q(CoherentQueueNI):
+    """512-block (128-message) device-homed cachable queues."""
+
+    taxonomy_name = "CNI512Q"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("send_queue_blocks", 512)
+        kwargs.setdefault("recv_queue_blocks", 512)
+        kwargs.setdefault("recv_home", "device")
+        super().__init__(*args, **kwargs)
+
+
+class CNI16Qm(CoherentQueueNI):
+    """16-block device cache over a 512-block receive queue homed in memory.
+
+    The receive queue pages are ordinary pinned main-memory pages, so when
+    the device cache fills, older blocks are written back to memory and the
+    queue keeps absorbing bursts instead of backing up the network.  (The
+    paper only studies memory buffering on the receive side; the send queue
+    is device-homed as in CNI16Q.)
+    """
+
+    taxonomy_name = "CNI16Qm"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("send_queue_blocks", 16)
+        kwargs.setdefault("recv_queue_blocks", 512)
+        kwargs.setdefault("recv_cache_blocks", 16)
+        kwargs.setdefault("recv_home", "memory")
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,251 @@
+"""Cachable queues (CQs) — functional state and the sense-reverse protocol.
+
+A cachable queue is a contiguous region of coherent cache blocks managed as
+a circular queue of fixed-size entries (one network message per entry).
+This module holds the *functional* queue state shared by the sender and
+receiver; the *timing* of queue accesses (which cache does which coherent
+block operation) lives with the NI devices and the processor-side code.
+
+The paper's three optimizations are represented directly:
+
+* **lazy pointers** — the sender keeps a conservative ``shadow`` copy of the
+  receiver's head pointer and only re-reads the real head pointer when the
+  shadow indicates a full queue;
+* **message valid bits** — the receiver detects arrivals by examining the
+  valid word of the entry at the head rather than reading the tail pointer;
+* **sense reverse** — the encoding of "valid" alternates on each pass around
+  the queue, so the receiver never needs to clear valid bits.
+
+Internally the queue uses monotonic enqueue/dequeue counts, which are
+exactly equivalent to the head/tail + sense-bit formulation of the paper's
+Figures 4 and 5 (the equivalence is property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.types import NetworkMessage
+
+
+class QueueError(RuntimeError):
+    """Raised for cachable-queue protocol violations."""
+
+
+def sense_for_pass(pass_number: int) -> int:
+    """Valid-bit encoding for a given pass around the queue.
+
+    The paper encodes valid as 1 on odd passes and 0 on even passes; the
+    first pass through the queue is pass 1 (odd), so it uses sense 1.
+    """
+    return pass_number % 2
+
+
+@dataclass
+class QueueEntry:
+    """One slot of the circular queue (a message plus its written sense)."""
+
+    message: Optional[NetworkMessage] = None
+    sense: Optional[int] = None
+
+
+class CachableQueue:
+    """Functional state of one single-sender / single-receiver cachable queue."""
+
+    def __init__(
+        self,
+        name: str,
+        base_addr: int,
+        num_blocks: int,
+        blocks_per_entry: int,
+        block_bytes: int,
+        head_ptr_addr: int,
+        tail_ptr_addr: int,
+    ):
+        if num_blocks <= 0 or blocks_per_entry <= 0:
+            raise QueueError("queue and entry sizes must be positive")
+        if num_blocks % blocks_per_entry != 0:
+            raise QueueError(
+                f"queue of {num_blocks} blocks is not a whole number of "
+                f"{blocks_per_entry}-block entries"
+            )
+        self.name = name
+        self.base_addr = base_addr
+        self.num_blocks = num_blocks
+        self.blocks_per_entry = blocks_per_entry
+        self.block_bytes = block_bytes
+        self.capacity = num_blocks // blocks_per_entry
+        self.head_ptr_addr = head_ptr_addr
+        self.tail_ptr_addr = tail_ptr_addr
+
+        self.entries: List[QueueEntry] = [QueueEntry() for _ in range(self.capacity)]
+        #: Monotonic number of messages ever enqueued (sender-owned).
+        self.tail_count = 0
+        #: Monotonic number of messages ever dequeued (receiver-owned).
+        self.head_count = 0
+        #: The sender's lazy copy of ``head_count``.
+        self.shadow_head_count = 0
+        self.shadow_refreshes = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Index / sense arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self.tail_count - self.head_count
+
+    def head_index(self) -> int:
+        return self.head_count % self.capacity
+
+    def tail_index(self) -> int:
+        return self.tail_count % self.capacity
+
+    @property
+    def sender_sense(self) -> int:
+        """Sense the sender writes on its current pass (Figure 4)."""
+        return sense_for_pass(self.tail_count // self.capacity + 1)
+
+    @property
+    def receiver_sense(self) -> int:
+        """Sense the receiver expects on its current pass (Figure 5)."""
+        return sense_for_pass(self.head_count // self.capacity + 1)
+
+    # ------------------------------------------------------------------
+    # State predicates
+    # ------------------------------------------------------------------
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    def full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    def full_by_shadow(self) -> bool:
+        """The sender's conservative full check against its shadow head."""
+        return self.tail_count - self.shadow_head_count >= self.capacity
+
+    def refresh_shadow(self) -> None:
+        """Re-read the real head pointer (the caller pays the cache miss)."""
+        self.shadow_head_count = self.head_count
+        self.shadow_refreshes += 1
+
+    def head_entry_valid(self) -> bool:
+        """Receiver-visible validity of the entry at the head (valid word
+        matches the receiver's current sense)."""
+        entry = self.entries[self.head_index()]
+        return entry.sense is not None and entry.sense == self.receiver_sense
+
+    # ------------------------------------------------------------------
+    # Queue operations (functional)
+    # ------------------------------------------------------------------
+    def enqueue(self, message: NetworkMessage) -> int:
+        """Append a message; returns the slot index used."""
+        if self.full():
+            raise QueueError(f"{self.name}: enqueue on a full queue")
+        slot = self.tail_index()
+        self.entries[slot] = QueueEntry(message=message, sense=self.sender_sense)
+        self.tail_count += 1
+        self.max_occupancy = max(self.max_occupancy, self.occupancy)
+        return slot
+
+    def peek(self) -> Optional[NetworkMessage]:
+        """The message at the head if the valid word matches, else None."""
+        if not self.head_entry_valid():
+            return None
+        return self.entries[self.head_index()].message
+
+    def dequeue(self) -> NetworkMessage:
+        """Remove and return the message at the head.
+
+        Sense reverse means the entry is *not* cleared; the stale sense value
+        simply fails the validity check on the receiver's next pass.
+        """
+        message = self.peek()
+        if message is None:
+            raise QueueError(f"{self.name}: dequeue from an empty queue")
+        self.head_count += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def entry_base_addr(self, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise QueueError(f"{self.name}: slot {slot} out of range")
+        return self.base_addr + slot * self.blocks_per_entry * self.block_bytes
+
+    def entry_block_addrs(self, slot: int, num_blocks: Optional[int] = None) -> List[int]:
+        """Block addresses of an entry (optionally only its first blocks)."""
+        count = self.blocks_per_entry if num_blocks is None else num_blocks
+        if not 1 <= count <= self.blocks_per_entry:
+            raise QueueError(
+                f"{self.name}: entry spans {self.blocks_per_entry} blocks, asked for {count}"
+            )
+        base = self.entry_base_addr(slot)
+        return [base + i * self.block_bytes for i in range(count)]
+
+    def valid_word_addr(self, slot: int) -> int:
+        """Address of the block holding the entry's valid/sense word."""
+        return self.entry_base_addr(slot)
+
+    def all_block_addrs(self) -> List[int]:
+        return [
+            self.base_addr + i * self.block_bytes for i in range(self.num_blocks)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<CachableQueue {self.name} cap={self.capacity} "
+            f"occ={self.occupancy} head={self.head_count} tail={self.tail_count}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Reference implementation of the paper's Figure 4 / Figure 5 pseudo-code
+# ----------------------------------------------------------------------
+@dataclass
+class SenseReverseQueue:
+    """A literal transcription of the sense-reverse enqueue/dequeue pseudo
+    code (Figures 4 and 5), used to cross-check :class:`CachableQueue`.
+
+    Entries store the written sense value; the valid word is the sense.
+    """
+
+    capacity: int
+    head: int = 0
+    tail: int = 0
+    sender_sense: int = 1
+    receiver_sense: int = 1
+    slots: List[Optional[Tuple[object, int]]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise QueueError("capacity must be positive")
+        if not self.slots:
+            self.slots = [None] * self.capacity
+
+    def is_full(self) -> bool:
+        return self.tail == self.head and self.sender_sense != self.receiver_sense
+
+    def is_empty(self) -> bool:
+        slot = self.slots[self.head]
+        return slot is None or slot[1] != self.receiver_sense
+
+    def enqueue(self, item: object) -> bool:
+        if self.is_full():
+            return False
+        self.slots[self.tail] = (item, self.sender_sense)
+        self.tail = (self.tail + 1) % self.capacity
+        if self.tail == 0:
+            self.sender_sense ^= 1
+        return True
+
+    def dequeue(self) -> Optional[object]:
+        if self.is_empty():
+            return None
+        item, _ = self.slots[self.head]
+        self.head = (self.head + 1) % self.capacity
+        if self.head == 0:
+            self.receiver_sense ^= 1
+        return item

@@ -1,0 +1,135 @@
+"""NI2w — the conventional, CM-5-like network interface.
+
+All processor/NI communication uses *uncached* loads and stores:
+
+* send: uncached load of the send-status register to check for space, then
+  one uncached 8-byte store per double word of the (header + payload)
+  network message,
+* receive: uncached load of the receive-status register to poll, then one
+  uncached 8-byte load per double word of the message (reading the data
+  register implicitly pops the hardware FIFO).
+
+The device contains small hardware FIFOs in both directions; when the
+receive FIFO is full, arriving messages back up into the network (the
+extraction process withholds the acknowledgement), which is what forces the
+software flow-control buffering the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import NetworkMessage
+from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
+from repro.sim import Delay, Signal
+
+
+class NI2w(AbstractNI):
+    """Conventional program-controlled NI with uncached device registers."""
+
+    taxonomy_name = "NI2w"
+
+    #: Hardware FIFO capacity per direction, in network messages.  The CM-5
+    #: NI buffers only a handful of messages in the device.
+    DEFAULT_FIFO_MESSAGES = 4
+
+    def __init__(self, *args, fifo_messages: int = DEFAULT_FIFO_MESSAGES, **kwargs):
+        super().__init__(*args, **kwargs)
+        if fifo_messages < 1:
+            raise NIError("NI2w needs at least one FIFO slot per direction")
+        self.fifo_messages = fifo_messages
+
+        # Device registers (addresses only; values are modelled functionally).
+        self.send_status_reg = self.allocate_uncached_register()
+        self.send_data_reg = self.allocate_uncached_register()
+        self.recv_status_reg = self.allocate_uncached_register()
+        self.recv_data_reg = self.allocate_uncached_register()
+
+        self._send_fifo: List[NetworkMessage] = []
+        self._recv_fifo: List[NetworkMessage] = []
+        self._send_fifo_signal = Signal(self.sim, name=f"{self.name}.send-fifo")
+        self._recv_space_signal = Signal(self.sim, name=f"{self.name}.recv-space")
+
+    # ------------------------------------------------------------------
+    # Processor side
+    # ------------------------------------------------------------------
+    def proc_try_send(self, message: NetworkMessage):
+        """Uncached-store send path (returns True if accepted)."""
+        # 1. Check the send-status register for space in the hardware FIFO.
+        yield from self.uncached_load(self.send_status_reg)
+        if len(self._send_fifo) >= self.fifo_messages:
+            self.stats.add("send_full")
+            return False
+        # 2. Write the message, one uncached double-word store at a time
+        #    (each word also costs the user-buffer load and loop overhead).
+        for _ in range(self.words_for(message)):
+            yield from self.uncached_store(self.send_data_reg)
+            yield Delay(self.params.uncached_word_processing_cycles)
+        message.send_time = self.sim.now
+        self._send_fifo.append(message)
+        self.stats.add("messages_sent")
+        self._send_fifo_signal.fire()
+        return True
+
+    def proc_poll(self):
+        """Uncached-load receive path (returns a message or None)."""
+        # 1. Poll the receive-status register.
+        yield from self.uncached_load(self.recv_status_reg)
+        self.stats.add("polls")
+        if not self._recv_fifo:
+            self.stats.add("empty_polls")
+            return None
+        # 2. Read the message out of the hardware FIFO (implicit pop), one
+        #    uncached double-word load at a time plus the user-buffer store.
+        message = self._recv_fifo.pop(0)
+        for _ in range(self.words_for(message)):
+            yield from self.uncached_load(self.recv_data_reg)
+            yield Delay(self.params.uncached_word_processing_cycles)
+        self.stats.add("messages_received")
+        self._recv_space_signal.fire()
+        return message
+
+    # ------------------------------------------------------------------
+    # Device side
+    # ------------------------------------------------------------------
+    def _injection_process(self):
+        while True:
+            if not self._send_fifo:
+                yield self._send_fifo_signal
+                continue
+            message = self._send_fifo[0]
+            yield from self._wait_for_window(message.dest)
+            yield Delay(DEVICE_PROCESSING_CYCLES)
+            self._send_fifo.pop(0)
+            self._inject(message)
+            # Removing the message frees FIFO space for the processor.
+            self._send_fifo_signal.fire()
+
+    def _extraction_process(self):
+        while True:
+            if not self._net_in:
+                yield self._net_in_signal
+                continue
+            if len(self._recv_fifo) >= self.fifo_messages:
+                # Receive FIFO full: the message stays in the network until
+                # the processor drains the FIFO (backpressure).
+                self.stats.add("recv_fifo_full_stalls")
+                yield self._recv_space_signal
+                continue
+            message = self._net_in.pop(0)
+            yield Delay(DEVICE_PROCESSING_CYCLES)
+            self._recv_fifo.append(message)
+            self.stats.add("messages_accepted")
+            self._ack(message)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def send_fifo_depth(self) -> int:
+        return len(self._send_fifo)
+
+    def recv_fifo_depth(self) -> int:
+        return len(self._recv_fifo)
+
+    def pending_receive(self) -> Optional[NetworkMessage]:
+        return self._recv_fifo[0] if self._recv_fifo else None

@@ -1,0 +1,137 @@
+"""The NI/CNI taxonomy of Section 3 and a factory for the evaluated devices.
+
+Device names follow the paper's notation ``NI_iX`` / ``CNI_iX``:
+
+* the ``CNI`` prefix means the device participates in the coherence
+  protocol (caches its NI queues), the ``NI`` prefix means it does not;
+* ``i`` is the exposed queue size in cache blocks, or in 4-byte words when
+  suffixed with ``w``;
+* ``X`` is empty (no explicit queue pointers), ``Q`` (explicit memory-based
+  queue homed on the device) or ``Qm`` (explicit queue homed in main
+  memory).
+
+Examples from the paper: the CM-5 NI is ``NI2w``, Alewife is ``NI16w``,
+*T-NG is ``NI128Q`` and the four evaluated coherent devices are ``CNI4``,
+``CNI16Q``, ``CNI512Q`` and ``CNI16Qm``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.ni.base import AbstractNI
+from repro.ni.cni4 import CNI4
+from repro.ni.cniq import CNI16Q, CNI512Q, CNI16Qm, CoherentQueueNI
+from repro.ni.ni2w import NI2w
+
+
+class TaxonomyError(ValueError):
+    """Raised for malformed or unsupported taxonomy names."""
+
+
+_NAME_PATTERN = re.compile(r"^(?P<prefix>C?NI)(?P<size>\d+)(?P<unit>w?)(?P<queue>Qm|Q)?$")
+
+
+@dataclass(frozen=True)
+class NISpec:
+    """Parsed form of a taxonomy name."""
+
+    name: str
+    coherent: bool
+    exposed_size: int
+    unit: str                   # "blocks" or "words"
+    queue: Optional[str]        # None, "Q" or "Qm"
+
+    @property
+    def exposed_blocks(self) -> Optional[int]:
+        """Exposed size in cache blocks (None when expressed in words)."""
+        return self.exposed_size if self.unit == "blocks" else None
+
+    @property
+    def home(self) -> str:
+        """Where the exposed queue is homed."""
+        if self.queue == "Qm":
+            return "memory"
+        return "device"
+
+    def describe(self) -> str:
+        unit = "cache blocks" if self.unit == "blocks" else "4-byte words"
+        pointers = "explicit queue pointers" if self.queue else "no explicit queue pointers"
+        kind = "coherent (cached NI queues)" if self.coherent else "uncached NI access"
+        return f"{self.name}: {kind}, {self.exposed_size} {unit} exposed, {pointers}, home={self.home}"
+
+
+def parse_ni_name(name: str) -> NISpec:
+    """Parse a taxonomy name like ``"CNI16Qm"`` into an :class:`NISpec`."""
+    match = _NAME_PATTERN.match(name.strip())
+    if not match:
+        raise TaxonomyError(f"cannot parse NI taxonomy name {name!r}")
+    prefix = match.group("prefix")
+    size = int(match.group("size"))
+    if size <= 0:
+        raise TaxonomyError(f"exposed queue size must be positive in {name!r}")
+    unit = "words" if match.group("unit") == "w" else "blocks"
+    queue = match.group("queue")
+    if queue == "Qm" and prefix != "CNI":
+        raise TaxonomyError(f"{name!r}: a memory-homed queue requires a coherent NI")
+    return NISpec(
+        name=name.strip(),
+        coherent=prefix == "CNI",
+        exposed_size=size,
+        unit=unit,
+        queue=queue,
+    )
+
+
+#: The five devices evaluated in the paper.
+EVALUATED_DEVICES = ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
+
+_DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = {
+    "NI2w": NI2w,
+    "CNI4": CNI4,
+    "CNI16Q": CNI16Q,
+    "CNI512Q": CNI512Q,
+    "CNI16Qm": CNI16Qm,
+}
+
+
+def device_class(name: str) -> Type[AbstractNI]:
+    """Return the device class for one of the evaluated taxonomy names."""
+    try:
+        return _DEVICE_CLASSES[name]
+    except KeyError:
+        raise TaxonomyError(
+            f"{name!r} is not one of the evaluated devices {EVALUATED_DEVICES}"
+        ) from None
+
+
+def register_device(name: str, cls: Type[AbstractNI]) -> None:
+    """Register an additional device implementation under a taxonomy name."""
+    if not issubclass(cls, AbstractNI):
+        raise TaxonomyError(f"{cls!r} is not an AbstractNI subclass")
+    _DEVICE_CLASSES[name] = cls
+
+
+def available_devices() -> tuple:
+    return tuple(sorted(_DEVICE_CLASSES))
+
+
+def create_ni(name: str, *args, **kwargs) -> AbstractNI:
+    """Instantiate a device by taxonomy name.
+
+    Positional/keyword arguments are forwarded to the device constructor
+    (simulator, node id, params, address map, interconnect, fabric, ...).
+    """
+    cls = device_class(name)
+    return cls(*args, **kwargs)
+
+
+def classify_existing_machines() -> Dict[str, str]:
+    """The paper's classification of existing machines (Section 3)."""
+    return {
+        "TMC CM-5": "NI2w",
+        "MIT Alewife": "NI16w",
+        "MIT *T-NG": "NI128Q",
+    }

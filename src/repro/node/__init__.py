@@ -1,0 +1,15 @@
+"""Node and machine assembly: processors, caches, buses, NIs, fabric."""
+
+from repro.node.machine import Machine, WorkloadHangError
+from repro.node.node import DRAM_ALLOC_OFFSET_BLOCKS, Node, NodeConfig, NodeConfigError
+from repro.node.processor import Processor
+
+__all__ = [
+    "Machine",
+    "WorkloadHangError",
+    "Node",
+    "NodeConfig",
+    "NodeConfigError",
+    "DRAM_ALLOC_OFFSET_BLOCKS",
+    "Processor",
+]

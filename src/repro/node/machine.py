@@ -1,0 +1,155 @@
+"""The simulated parallel machine: N nodes plus the network fabric."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
+
+from repro.common.params import DEFAULT_PARAMS, MachineParams
+from repro.common.types import BusKind
+from repro.msglayer.messaging import MessagingLayer
+from repro.network.fabric import NetworkFabric
+from repro.node.node import Node, NodeConfig
+from repro.sim import Simulator
+
+
+class WorkloadHangError(RuntimeError):
+    """Raised when a workload fails to complete (deadlock or cycle limit)."""
+
+
+class Machine:
+    """A 16-node (by default) parallel machine built from :class:`Node`s."""
+
+    def __init__(
+        self,
+        params: Optional[MachineParams] = None,
+        node_config: Optional[NodeConfig] = None,
+        node_configs: Optional[Sequence[NodeConfig]] = None,
+        num_nodes: Optional[int] = None,
+    ):
+        base_params = params or DEFAULT_PARAMS
+        if num_nodes is not None:
+            base_params = base_params.with_overrides(num_nodes=num_nodes)
+        self.params = base_params.validate()
+        self.sim = Simulator()
+        self.fabric = NetworkFabric(self.sim, self.params)
+
+        if node_configs is not None:
+            if len(node_configs) != self.params.num_nodes:
+                raise ValueError(
+                    f"expected {self.params.num_nodes} node configs, got {len(node_configs)}"
+                )
+            configs = list(node_configs)
+        else:
+            configs = [node_config or NodeConfig() for _ in range(self.params.num_nodes)]
+
+        self.nodes: List[Node] = [
+            Node(self.sim, node_id, self.params, self.fabric, config)
+            for node_id, config in enumerate(configs)
+        ]
+        self.messaging: List[MessagingLayer] = [
+            MessagingLayer(
+                self.sim,
+                node.node_id,
+                node.processor,
+                node.ni,
+                self.params,
+                node.dram_allocator,
+            )
+            for node in self.nodes
+        ]
+        for layer in self.messaging:
+            layer.num_nodes = len(self.nodes)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        ni_name: str = "CNI16Qm",
+        bus: Union[BusKind, str] = BusKind.MEMORY,
+        num_nodes: int = 16,
+        snarfing: bool = False,
+        params: Optional[MachineParams] = None,
+        ni_kwargs: Optional[Dict] = None,
+    ) -> "Machine":
+        """Build a homogeneous machine with the given NI on the given bus."""
+        bus_kind = bus if isinstance(bus, BusKind) else BusKind(bus)
+        config = NodeConfig(
+            ni_name=ni_name,
+            ni_bus=bus_kind,
+            snarfing=snarfing,
+            ni_kwargs=dict(ni_kwargs or {}),
+        )
+        return cls(params=params, node_config=config, num_nodes=num_nodes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            node.start()
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_programs(
+        self,
+        programs: Union[Sequence[Generator], Dict[int, Generator]],
+        max_cycles: Optional[int] = None,
+    ) -> int:
+        """Run one workload program per node and return the completion time.
+
+        ``programs`` is either a sequence with one generator per node or a
+        mapping from node id to generator (nodes without a program idle).
+        Raises :class:`WorkloadHangError` if the programs do not all finish.
+        """
+        self.start()
+        if isinstance(programs, dict):
+            items = programs.items()
+        else:
+            if len(programs) != len(self.nodes):
+                raise ValueError(
+                    f"expected {len(self.nodes)} programs, got {len(programs)}"
+                )
+            items = enumerate(programs)
+        processes = [
+            self.nodes[node_id].processor.run_program(program, name=f"workload-cpu{node_id}")
+            for node_id, program in items
+        ]
+        end_time = self.sim.run(until=max_cycles)
+        unfinished = [p.name for p in processes if not p.finished]
+        if unfinished:
+            raise WorkloadHangError(
+                f"workload did not complete by cycle {end_time}: "
+                f"{len(unfinished)} stuck processes ({', '.join(unfinished[:4])}...)"
+            )
+        return max(p.finished_at for p in processes) if processes else end_time
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_memory_bus_occupancy(self) -> int:
+        return sum(node.memory_bus_occupancy() for node in self.nodes)
+
+    def total_io_bus_occupancy(self) -> int:
+        return sum(node.io_bus_occupancy() for node in self.nodes)
+
+    def network_stats(self) -> Dict[str, int]:
+        return self.fabric.stats.as_dict()
+
+    def describe(self) -> str:
+        ni_names = {node.config.ni_name for node in self.nodes}
+        buses = {node.config.ni_bus.value for node in self.nodes}
+        return (
+            f"Machine: {len(self.nodes)} nodes, NI={'/'.join(sorted(ni_names))}, "
+            f"bus={'/'.join(sorted(buses))}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"

@@ -1,0 +1,72 @@
+"""Processor cost model.
+
+The paper models a 200 MHz dual-issue HyperSPARC only through the cost of
+its memory-system interactions (Table 2) plus application compute time; we
+do the same.  The :class:`Processor` provides workloads with generators for
+computation delays and for cached/uncached memory accesses, and runs one
+workload program as a simulation process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.coherence.cache import CoherentCache
+from repro.common.params import MachineParams
+from repro.sim import Counter, Delay, Process, Simulator, start_process
+
+
+class Processor:
+    """A single node's compute processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cache: CoherentCache,
+        params: MachineParams,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cache = cache
+        self.params = params
+        self.stats = Counter()
+        self._program_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run_program(self, program: Generator, name: str = "") -> Process:
+        """Launch a workload program (a generator) as this processor's process."""
+        self._program_process = start_process(
+            self.sim, program, name=name or f"cpu{self.node_id}"
+        )
+        return self._program_process
+
+    @property
+    def program(self) -> Optional[Process]:
+        return self._program_process
+
+    def finished(self) -> bool:
+        return self._program_process is not None and self._program_process.finished
+
+    # ------------------------------------------------------------------
+    # Cost-model primitives (generators)
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int):
+        """Spend ``cycles`` of pure computation."""
+        self.stats.add("compute_cycles", int(cycles))
+        yield Delay(int(cycles))
+
+    def touch_read(self, address: int, size: int):
+        """Read ``size`` bytes of cachable data (workload memory traffic)."""
+        self.stats.add("data_reads")
+        yield from self.cache.read(address, size)
+
+    def touch_write(self, address: int, size: int):
+        """Write ``size`` bytes of cachable data (workload memory traffic)."""
+        self.stats.add("data_writes")
+        yield from self.cache.write(address, size)
+
+    def __repr__(self) -> str:
+        return f"<Processor node{self.node_id}>"

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel used by the CNI reproduction."""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import (
+    Acquire,
+    Delay,
+    Join,
+    Process,
+    Resource,
+    Signal,
+    Wait,
+    start_process,
+)
+from repro.sim.stats import Counter, Samples, StatsRegistry, safe_ratio
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "start_process",
+    "Delay",
+    "Wait",
+    "Acquire",
+    "Join",
+    "Signal",
+    "Resource",
+    "Counter",
+    "Samples",
+    "StatsRegistry",
+    "safe_ratio",
+]

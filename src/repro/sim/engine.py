@@ -1,0 +1,125 @@
+"""Discrete-event simulation engine.
+
+The engine is a small, dependency-free kernel in the spirit of SimPy.  Time
+is an integer number of processor cycles.  Components schedule callbacks on a
+binary-heap event queue; higher-level code usually uses generator-based
+processes (see :mod:`repro.sim.process`) instead of raw callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class _ScheduledEvent:
+    """A single entry in the event queue.
+
+    Cancellation is implemented by flagging the entry rather than removing it
+    from the heap, which keeps :meth:`Simulator.cancel` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Event-driven simulator with integer cycle timestamps.
+
+    The public surface is deliberately small:
+
+    * :meth:`schedule` / :meth:`cancel` for raw callbacks,
+    * :meth:`run` to drain the event queue,
+    * :attr:`now` for the current simulated time.
+
+    Processes are layered on top in :mod:`repro.sim.process`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._running = False
+        self.event_count = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in processor cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> _ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + int(delay), next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable, *args: Any) -> _ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time}, current time is {self._now}")
+        event = _ScheduledEvent(int(time), next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (no-op if already run)."""
+        event.cancelled = True
+
+    def peek(self) -> Optional[int]:
+        """Return the time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final simulated time."""
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now

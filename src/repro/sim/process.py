@@ -1,0 +1,234 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``s
+commands that describe what to wait for; the kernel resumes the generator
+when the condition is satisfied:
+
+* ``yield Delay(n)`` (or ``yield n``) — wait ``n`` cycles,
+* ``yield Acquire(resource)`` — wait for FIFO ownership of a resource,
+* ``yield Wait(signal)`` — wait for a one-shot/broadcast signal; the value
+  sent back into the generator is the signal payload,
+* ``yield Join(process)`` — wait for another process to finish; the value
+  sent back is that process's return value.
+
+Sub-generators compose with plain ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Delay:
+    """Wait a fixed number of cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        self.cycles = int(cycles)
+
+    def __repr__(self) -> str:
+        return f"Delay({self.cycles})"
+
+
+class Wait:
+    """Wait for a :class:`Signal` to fire."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal"):
+        self.signal = signal
+
+
+class Acquire:
+    """Wait for ownership of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class Join:
+    """Wait for another process to complete."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+
+class Signal:
+    """A broadcast signal that wakes every waiting process when fired.
+
+    A signal may fire any number of times; each firing wakes the processes
+    that were waiting at that moment and passes them the payload.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self._sim = sim
+        self.name = name
+        self._waiters: list[Process] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def fire(self, payload: Any = None) -> None:
+        """Wake all current waiters, delivering ``payload`` to each."""
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0, process._resume, payload)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Resource:
+    """A FIFO resource with integer capacity (default 1, i.e. a mutex).
+
+    Used to model buses: a bus transaction acquires the bus, holds it for the
+    occupancy period, then releases it.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._wait_queue: list[Process] = []
+        # Statistics
+        self.total_acquisitions = 0
+        self.busy_cycles = 0
+        self._last_acquire_time: Optional[int] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._wait_queue)
+
+    def _request(self, process: "Process") -> None:
+        if self._in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._wait_queue.append(process)
+
+    def _grant(self, process: "Process") -> None:
+        self._in_use += 1
+        self.total_acquisitions += 1
+        if self._in_use == 1:
+            self._last_acquire_time = self._sim.now
+        self._sim.schedule(0, process._resume, self)
+
+    def release(self) -> None:
+        """Release one unit of the resource (called directly, not yielded)."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._last_acquire_time is not None:
+            self.busy_cycles += self._sim.now - self._last_acquire_time
+            self._last_acquire_time = None
+        if self._wait_queue and self._in_use < self.capacity:
+            self._grant(self._wait_queue.pop(0))
+
+    def try_acquire_now(self) -> bool:
+        """Immediately acquire the resource if free (used for NACK modelling).
+
+        Returns True and takes ownership if the resource is idle and nothing
+        is queued; otherwise returns False without waiting.
+        """
+        if self._in_use < self.capacity and not self._wait_queue:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            if self._in_use == 1:
+                self._last_acquire_time = self._sim.now
+            return True
+        return False
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        Process._ids += 1
+        self.pid = Process._ids
+        self.name = name or f"process-{self.pid}"
+        self._sim = sim
+        self._gen = generator
+        self.finished = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._completion_waiters: list[Process] = []
+        self.started_at = sim.now
+        self.finished_at: Optional[int] = None
+        # Kick off on the next event boundary so construction never runs user
+        # code synchronously.
+        sim.schedule(0, self._resume, None)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} ({state})>"
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # surface errors loudly
+            self.exception = exc
+            self._finish(None)
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self._sim.schedule(command.cycles, self._resume, None)
+        elif isinstance(command, (int, float)):
+            self._sim.schedule(int(command), self._resume, None)
+        elif isinstance(command, Wait):
+            command.signal._add_waiter(self)
+        elif isinstance(command, Acquire):
+            command.resource._request(self)
+        elif isinstance(command, Join):
+            target = command.process
+            if target.finished:
+                self._sim.schedule(0, self._resume, target.result)
+            else:
+                target._completion_waiters.append(self)
+        elif isinstance(command, Signal):
+            command._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unsupported command: {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.finished_at = self._sim.now
+        waiters, self._completion_waiters = self._completion_waiters, []
+        for waiter in waiters:
+            self._sim.schedule(0, waiter._resume, result)
+
+
+def start_process(sim: Simulator, generator: Generator, name: str = "") -> Process:
+    """Convenience wrapper to launch a generator as a process."""
+    return Process(sim, generator, name=name)

@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.addrmap import AddressMap
+from repro.common.params import DEFAULT_PARAMS, MachineParams
+from repro.common.types import BusKind
+from repro.node.machine import Machine
+from repro.node.node import NodeConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def params() -> MachineParams:
+    return DEFAULT_PARAMS
+
+
+@pytest.fixture
+def addrmap(params) -> AddressMap:
+    return AddressMap.for_params(params)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def build_machine(ni_name="CNI16Qm", bus="memory", num_nodes=2, snarfing=False, **ni_kwargs):
+    """Convenience machine builder used across test modules."""
+    return Machine.build(ni_name, bus, num_nodes=num_nodes, snarfing=snarfing, ni_kwargs=ni_kwargs)
+
+
+def run_ping_pong(machine: Machine, payload_bytes: int = 64, rounds: int = 3, max_cycles: int = 50_000_000):
+    """Run a simple ping-pong between nodes 0 and 1; returns (cycles, pongs)."""
+    ml0, ml1 = machine.messaging[0], machine.messaging[1]
+    state = {"pongs": 0, "pings": 0}
+
+    def on_ping(ml, src, nbytes, body):
+        state["pings"] += 1
+        yield from ml.send_active_message(src, "pong", nbytes)
+
+    def on_pong(ml, src, nbytes, body):
+        state["pongs"] += 1
+        return None
+
+    ml1.register_handler("ping", on_ping)
+    ml0.register_handler("pong", on_pong)
+
+    def node0():
+        for i in range(rounds):
+            yield from ml0.send_active_message(1, "ping", payload_bytes)
+            while state["pongs"] <= i:
+                got = yield from ml0.poll()
+                if not got:
+                    yield 20
+
+    def node1():
+        while state["pings"] < rounds:
+            got = yield from ml1.poll()
+            if not got:
+                yield 20
+
+    cycles = machine.run_programs([node0(), node1()], max_cycles=max_cycles)
+    return cycles, state
+
+
+def run_stream(machine: Machine, payload_bytes: int = 256, count: int = 10, max_cycles: int = 80_000_000):
+    """Stream ``count`` messages from node 0 to node 1; returns received count."""
+    ml0, ml1 = machine.messaging[0], machine.messaging[1]
+    state = {"received": 0}
+    ml1.register_handler(
+        "data", lambda ml, src, nbytes, body: state.__setitem__("received", state["received"] + 1)
+    )
+
+    def sender():
+        for _ in range(count):
+            yield from ml0.send_active_message(1, "data", payload_bytes)
+
+    def receiver():
+        while state["received"] < count:
+            got = yield from ml1.poll()
+            if not got:
+                yield 20
+
+    machine.run_programs([sender(), receiver()], max_cycles=max_cycles)
+    return state["received"]

@@ -1,0 +1,255 @@
+"""Tests for the MOESI snooping caches, bus and main memory."""
+
+import pytest
+
+from repro.coherence.bus import BusError, NodeInterconnect
+from repro.coherence.cache import CacheError, CoherentCache, MainMemory
+from repro.common.addrmap import AddressMap
+from repro.common.params import DEFAULT_PARAMS
+from repro.common.types import AgentKind, BusKind, BusOp, CoherenceState
+from repro.sim import Simulator, start_process
+
+
+def make_system(num_caches=2, snarfing=False, with_io_bus=False, cache_blocks=64):
+    """A small single-node coherence system with N processor-style caches."""
+    sim = Simulator()
+    params = DEFAULT_PARAMS
+    addrmap = AddressMap.for_params(params)
+    interconnect = NodeInterconnect(sim, params, addrmap, name="test", with_io_bus=with_io_bus)
+    memory = MainMemory(sim, "mem", interconnect, params, addrmap)
+    caches = [
+        CoherentCache(
+            sim,
+            f"cache{i}",
+            interconnect,
+            params,
+            addrmap,
+            size_bytes=cache_blocks * params.cache_block_bytes,
+            agent_kind=AgentKind.PROCESSOR,
+            bus_kind=BusKind.MEMORY,
+            snarfing=snarfing,
+        )
+        for i in range(num_caches)
+    ]
+    return sim, interconnect, memory, caches
+
+
+def run(sim, gen):
+    """Run a generator to completion and return its result."""
+    process = start_process(sim, gen)
+    sim.run()
+    assert process.finished, "generator did not finish"
+    if process.exception:
+        raise process.exception
+    return process.result
+
+
+ADDR = 0x0010_0000  # a DRAM block address
+
+
+class TestBasicStates:
+    def test_cold_read_from_memory_gives_exclusive(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.EXCLUSIVE
+
+    def test_second_reader_gets_shared_and_downgrades_first(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        run(sim, c1.read_block(ADDR))
+        assert c1.probe_state(ADDR) is CoherenceState.SHARED
+        assert c0.probe_state(ADDR) is CoherenceState.SHARED
+
+    def test_write_miss_gives_modified(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.write_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.MODIFIED
+
+    def test_write_to_exclusive_is_silent_upgrade(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        before = ic.stats.get("txn_total")
+        run(sim, c0.write_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.MODIFIED
+        assert ic.stats.get("txn_total") == before  # no bus transaction needed
+
+    def test_write_to_shared_issues_upgrade(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        run(sim, c1.read_block(ADDR))
+        run(sim, c0.write_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.MODIFIED
+        assert c1.probe_state(ADDR) is CoherenceState.INVALID
+        assert ic.stats.get("txn_upgrade") == 1
+
+    def test_read_of_modified_block_supplies_and_owns(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.write_block(ADDR))
+        run(sim, c1.read_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.OWNED
+        assert c1.probe_state(ADDR) is CoherenceState.SHARED
+
+    def test_read_exclusive_invalidates_other_copies(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.write_block(ADDR))
+        run(sim, c1.write_block(ADDR))
+        assert c1.probe_state(ADDR) is CoherenceState.MODIFIED
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+
+    def test_write_block_full_uses_invalidation_only(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.write_block_full(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.MODIFIED
+        assert ic.stats.get("txn_upgrade") == 1
+        assert ic.stats.get("txn_read_exclusive") == 0
+
+
+class TestSingleOwnerInvariant:
+    def test_never_two_dirty_copies(self):
+        sim, _, _, caches = make_system(num_caches=3)
+
+        def writer(cache):
+            for _ in range(4):
+                yield from cache.write_block(ADDR)
+                yield 7
+                yield from cache.read_block(ADDR)
+
+        for cache in caches:
+            start_process(sim, writer(cache))
+        sim.run()
+        dirty = [c for c in caches if c.probe_state(ADDR).is_dirty()]
+        assert len(dirty) <= 1
+
+    def test_writable_implies_all_others_invalid(self):
+        sim, _, _, caches = make_system(num_caches=3)
+        run(sim, caches[0].read_block(ADDR))
+        run(sim, caches[1].read_block(ADDR))
+        run(sim, caches[2].write_block(ADDR))
+        assert caches[2].probe_state(ADDR).is_writable()
+        assert caches[0].probe_state(ADDR) is CoherenceState.INVALID
+        assert caches[1].probe_state(ADDR) is CoherenceState.INVALID
+
+
+class TestEvictionsAndFlushes:
+    def test_conflicting_dirty_block_written_back(self):
+        sim, ic, memory, (c0, c1) = make_system(cache_blocks=4)
+        block = DEFAULT_PARAMS.cache_block_bytes
+        conflict = ADDR + 4 * block  # maps to the same set in a 4-block cache
+        run(sim, c0.write_block(ADDR))
+        run(sim, c0.write_block(conflict))
+        assert ic.stats.get("txn_writeback") == 1
+        assert memory.stats.get("writebacks_accepted") == 1
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+
+    def test_clean_eviction_has_no_writeback(self):
+        sim, ic, _, (c0, c1) = make_system(cache_blocks=4)
+        block = DEFAULT_PARAMS.cache_block_bytes
+        conflict = ADDR + 4 * block
+        run(sim, c0.read_block(ADDR))
+        run(sim, c0.read_block(conflict))
+        assert ic.stats.get("txn_writeback") == 0
+
+    def test_explicit_flush_writes_back_dirty_block(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.write_block(ADDR))
+        run(sim, c0.flush_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+        assert ic.stats.get("txn_writeback") == 1
+
+    def test_flush_of_absent_block_is_noop(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.flush_block(ADDR))
+        assert ic.stats.get("txn_total") == 0
+
+    def test_local_invalidate_drops_without_traffic(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        before = ic.stats.get("txn_total")
+        c0.invalidate_block(ADDR)
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+        assert ic.stats.get("txn_total") == before
+
+
+class TestMultiBlockAccess:
+    def test_read_spanning_blocks_touches_each(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.read(ADDR + 32, 128))
+        block = DEFAULT_PARAMS.cache_block_bytes
+        for offset in (0, block, 2 * block):
+            assert c0.probe_state(ADDR + offset).is_valid()
+
+    def test_uncachable_address_rejected(self):
+        sim, _, _, (c0, c1) = make_system()
+        with pytest.raises(CacheError):
+            run(sim, c0.read(0x9000_0000, 8))
+
+    def test_hit_rate_reporting(self):
+        sim, _, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        run(sim, c0.read_block(ADDR))
+        assert 0.0 < c0.hit_rate() <= 1.0
+
+
+class TestTimingCosts:
+    def test_read_miss_slower_than_hit(self):
+        sim, _, _, (c0, c1) = make_system()
+        t0 = sim.now
+        run(sim, c0.read_block(ADDR))
+        miss_time = sim.now - t0
+        t1 = sim.now
+        run(sim, c0.read_block(ADDR))
+        hit_time = sim.now - t1
+        assert miss_time > hit_time
+        assert hit_time <= 2 * DEFAULT_PARAMS.cache_hit_cycles
+
+    def test_memory_bus_occupancy_accumulates(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        assert ic.memory_bus_occupancy() >= 42
+
+
+class TestDataSnarfing:
+    def test_snarf_on_writeback_with_tag_match(self):
+        sim, _, _, (c0, c1) = make_system(snarfing=True, cache_blocks=4)
+        block = DEFAULT_PARAMS.cache_block_bytes
+        conflict = ADDR + 4 * block
+        # c0 reads the block, then c1 takes it exclusively (c0 -> invalid with
+        # a matching tag), dirties it and finally evicts it.
+        run(sim, c0.read_block(ADDR))
+        run(sim, c1.write_block(ADDR))
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+        run(sim, c1.write_block(conflict))  # evicts ADDR -> writeback
+        assert c0.probe_state(ADDR) is CoherenceState.SHARED
+        assert c0.stats.get("snarfed_blocks") == 1
+
+    def test_no_snarf_when_disabled(self):
+        sim, _, _, (c0, c1) = make_system(snarfing=False, cache_blocks=4)
+        block = DEFAULT_PARAMS.cache_block_bytes
+        conflict = ADDR + 4 * block
+        run(sim, c0.read_block(ADDR))
+        run(sim, c1.write_block(ADDR))
+        run(sim, c1.write_block(conflict))
+        assert c0.probe_state(ADDR) is CoherenceState.INVALID
+        assert c0.stats.get("snarfed_blocks") == 0
+
+
+class TestInterconnect:
+    def test_agent_without_interface_rejected(self):
+        sim = Simulator()
+        params = DEFAULT_PARAMS
+        addrmap = AddressMap.for_params(params)
+        ic = NodeInterconnect(sim, params, addrmap)
+        with pytest.raises(BusError):
+            ic.attach(object())
+
+    def test_no_home_for_unmapped_address(self):
+        sim, ic, _, _ = make_system()
+        with pytest.raises(BusError):
+            ic.home_agent(0xF000_0000)
+
+    def test_transaction_counters(self):
+        sim, ic, _, (c0, c1) = make_system()
+        run(sim, c0.read_block(ADDR))
+        assert ic.stats.get("txn_read_shared") == 1
+        assert ic.stats.get("txn_total") == 1
+        assert ic.stats.get("txn_on_memory") == 1

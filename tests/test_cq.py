@@ -1,0 +1,271 @@
+"""Tests for the cachable-queue mechanism: sense reverse, lazy pointers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import NetworkMessage
+from repro.ni.cq import CachableQueue, QueueError, SenseReverseQueue, sense_for_pass
+
+
+def make_queue(num_blocks=16, blocks_per_entry=4):
+    return CachableQueue(
+        name="q",
+        base_addr=0x8000_0000,
+        num_blocks=num_blocks,
+        blocks_per_entry=blocks_per_entry,
+        block_bytes=64,
+        head_ptr_addr=0x0010_0000,
+        tail_ptr_addr=0x0010_0040,
+    )
+
+
+def msg(i=0):
+    return NetworkMessage(source=0, dest=1, payload_bytes=32, seq=i)
+
+
+class TestBasicQueueOperations:
+    def test_new_queue_is_empty(self):
+        q = make_queue()
+        assert q.empty()
+        assert not q.full()
+        assert q.peek() is None
+        assert q.capacity == 4
+
+    def test_enqueue_dequeue_fifo_order(self):
+        q = make_queue()
+        for i in range(3):
+            q.enqueue(msg(i))
+        assert [q.dequeue().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_fill_to_capacity_then_full(self):
+        q = make_queue()
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+        assert q.full()
+        with pytest.raises(QueueError):
+            q.enqueue(msg(99))
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(QueueError):
+            make_queue().dequeue()
+
+    def test_wraparound_many_passes(self):
+        q = make_queue()
+        sent = 0
+        received = 0
+        for _ in range(5 * q.capacity):
+            q.enqueue(msg(sent))
+            sent += 1
+            out = q.dequeue()
+            assert out.seq == received
+            received += 1
+        assert q.empty()
+
+    def test_occupancy_tracking(self):
+        q = make_queue()
+        q.enqueue(msg())
+        q.enqueue(msg())
+        assert q.occupancy == 2
+        q.dequeue()
+        assert q.occupancy == 1
+        assert q.max_occupancy == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(QueueError):
+            make_queue(num_blocks=10, blocks_per_entry=4)
+        with pytest.raises(QueueError):
+            make_queue(num_blocks=0)
+
+
+class TestSenseReverse:
+    def test_sense_alternates_per_pass(self):
+        assert sense_for_pass(1) == 1
+        assert sense_for_pass(2) == 0
+        assert sense_for_pass(3) == 1
+
+    def test_sender_sense_flips_on_wrap(self):
+        q = make_queue()
+        assert q.sender_sense == 1
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+        assert q.sender_sense == 0
+
+    def test_receiver_sense_follows_sender(self):
+        q = make_queue()
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+        for _ in range(q.capacity):
+            q.dequeue()
+        assert q.receiver_sense == q.sender_sense == 0
+
+    def test_stale_entry_not_visible_after_wrap(self):
+        """Sense reverse means old entries need no clearing: after a full
+        pass, an un-overwritten slot reads as invalid."""
+        q = make_queue()
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+        for _ in range(q.capacity):
+            q.dequeue()
+        # The slots still physically hold pass-1 entries (sense 1), but the
+        # receiver now expects sense 0, so the queue reads as empty.
+        assert q.entries[q.head_index()].message is not None
+        assert not q.head_entry_valid()
+        assert q.peek() is None
+
+    def test_valid_entry_visible_mid_pass(self):
+        q = make_queue()
+        q.enqueue(msg(7))
+        assert q.head_entry_valid()
+        assert q.peek().seq == 7
+
+
+class TestLazyPointers:
+    def test_shadow_initially_conservative(self):
+        q = make_queue()
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+            q.dequeue()
+        # The sender has not refreshed its shadow, so it believes the queue
+        # might be full even though it is actually empty.
+        assert q.full_by_shadow()
+        assert not q.full()
+
+    def test_refresh_shadow_unblocks_sender(self):
+        q = make_queue()
+        for i in range(q.capacity):
+            q.enqueue(msg(i))
+            q.dequeue()
+        q.refresh_shadow()
+        assert not q.full_by_shadow()
+        assert q.shadow_refreshes == 1
+
+    def test_shadow_never_underestimates_occupancy(self):
+        q = make_queue()
+        q.enqueue(msg())
+        q.refresh_shadow()
+        q.enqueue(msg())
+        # shadow-based occupancy >= true occupancy is the safety property.
+        assert q.tail_count - q.shadow_head_count >= q.occupancy
+
+    def test_shadow_refresh_rate_bounded_when_half_full(self):
+        """If the queue stays no more than half full, the sender needs at
+        most two refreshes per pass around the array (paper Section 2.2)."""
+        q = make_queue(num_blocks=32)  # 8 entries
+        refreshes_per_pass = []
+        for _pass in range(6):
+            start = q.shadow_refreshes
+            for i in range(q.capacity):
+                if q.full_by_shadow():
+                    q.refresh_shadow()
+                q.enqueue(msg(i))
+                q.dequeue()  # receiver keeps up: occupancy <= 1
+            refreshes_per_pass.append(q.shadow_refreshes - start)
+        assert all(count <= 2 for count in refreshes_per_pass)
+
+
+class TestAddressHelpers:
+    def test_entry_block_addresses_contiguous(self):
+        q = make_queue()
+        blocks = q.entry_block_addrs(1)
+        assert blocks == [0x8000_0000 + 4 * 64, 0x8000_0000 + 5 * 64, 0x8000_0000 + 6 * 64, 0x8000_0000 + 7 * 64]
+
+    def test_partial_entry_blocks(self):
+        q = make_queue()
+        assert len(q.entry_block_addrs(0, 2)) == 2
+        with pytest.raises(QueueError):
+            q.entry_block_addrs(0, 5)
+        with pytest.raises(QueueError):
+            q.entry_block_addrs(99)
+
+    def test_valid_word_is_first_block(self):
+        q = make_queue()
+        assert q.valid_word_addr(2) == q.entry_block_addrs(2)[0]
+
+    def test_all_block_addrs(self):
+        q = make_queue()
+        assert len(q.all_block_addrs()) == 16
+
+
+class TestSenseReverseReferenceQueue:
+    def test_reference_full_and_empty(self):
+        q = SenseReverseQueue(capacity=4)
+        assert q.is_empty()
+        for i in range(4):
+            assert q.enqueue(i)
+        assert q.is_full()
+        assert not q.enqueue(99)
+        assert [q.dequeue() for _ in range(4)] == [0, 1, 2, 3]
+        assert q.is_empty()
+        assert q.dequeue() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(QueueError):
+            SenseReverseQueue(capacity=0)
+
+
+class TestEquivalenceWithFigure4And5PseudoCode:
+    """Property: CachableQueue (monotonic counters) behaves identically to a
+    literal transcription of the paper's Figure 4/5 sense-reverse queue."""
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        ops=st.lists(st.booleans(), min_size=1, max_size=200),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_same_visible_behaviour(self, capacity, ops):
+        cq = CachableQueue(
+            name="cq",
+            base_addr=0,
+            num_blocks=capacity * 4,
+            blocks_per_entry=4,
+            block_bytes=64,
+            head_ptr_addr=0x1000,
+            tail_ptr_addr=0x1040,
+        )
+        ref = SenseReverseQueue(capacity=capacity)
+        sequence = 0
+        for is_enqueue in ops:
+            if is_enqueue:
+                ref_ok = ref.enqueue(sequence)
+                cq_ok = not cq.full()
+                if cq_ok:
+                    cq.enqueue(msg(sequence))
+                assert cq_ok == ref_ok
+                if ref_ok:
+                    sequence += 1
+            else:
+                ref_item = ref.dequeue()
+                cq_item = cq.peek()
+                if cq_item is not None:
+                    cq.dequeue()
+                assert (ref_item is None) == (cq_item is None)
+                if ref_item is not None:
+                    assert cq_item.seq == ref_item
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=6),
+        n_messages=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_order_preserved_under_backpressure(self, capacity, n_messages):
+        cq = CachableQueue(
+            name="cq",
+            base_addr=0,
+            num_blocks=capacity * 4,
+            blocks_per_entry=4,
+            block_bytes=64,
+            head_ptr_addr=0x1000,
+            tail_ptr_addr=0x1040,
+        )
+        sent = 0
+        received = []
+        while len(received) < n_messages:
+            while sent < n_messages and not cq.full():
+                cq.enqueue(msg(sent))
+                sent += 1
+            item = cq.peek()
+            if item is not None:
+                cq.dequeue()
+                received.append(item.seq)
+        assert received == list(range(n_messages))

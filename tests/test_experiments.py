@@ -1,0 +1,203 @@
+"""Tests for the experiment harness: microbenchmarks, macro sweeps, tables."""
+
+import pytest
+
+from repro.experiments import (
+    ALTERNATE_BUS_CONFIGS,
+    BASELINE,
+    IO_BUS_DEVICES,
+    MEMORY_BUS_DEVICES,
+    bandwidth,
+    bus_occupancy_reduction,
+    round_trip_latency,
+    run_macrobenchmark,
+    speedup_sweep,
+)
+from repro.experiments import figures, report, tables
+from repro.experiments.microbench import MicrobenchmarkError
+
+
+class TestDeviceLists:
+    def test_memory_bus_devices_match_paper(self):
+        assert MEMORY_BUS_DEVICES == ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
+
+    def test_io_bus_excludes_cni16qm(self):
+        assert "CNI16Qm" not in IO_BUS_DEVICES
+        assert len(IO_BUS_DEVICES) == 4
+
+    def test_alternate_bus_configs(self):
+        assert ("NI2w", "cache") in ALTERNATE_BUS_CONFIGS
+        assert ("CNI16Qm", "memory") in ALTERNATE_BUS_CONFIGS
+        assert ("CNI512Q", "io") in ALTERNATE_BUS_CONFIGS
+        assert BASELINE == ("NI2w", "memory")
+
+
+class TestRoundTripMicrobenchmark:
+    def test_result_fields(self):
+        result = round_trip_latency("CNI512Q", "memory", 64, iterations=5, warmup=2)
+        assert result.iterations == 5
+        assert result.round_trip_cycles > 0
+        assert result.round_trip_us == result.round_trip_cycles / 200.0
+        assert result.one_way_us * 2 == pytest.approx(result.round_trip_us)
+
+    def test_latency_grows_with_message_size(self):
+        small = round_trip_latency("CNI512Q", "memory", 8, iterations=6, warmup=2)
+        large = round_trip_latency("CNI512Q", "memory", 256, iterations=6, warmup=2)
+        assert large.round_trip_cycles > small.round_trip_cycles
+
+    def test_latency_includes_network_flight_time(self):
+        result = round_trip_latency("CNI512Q", "memory", 8, iterations=4, warmup=1)
+        assert result.round_trip_cycles > 2 * 100  # two network traversals
+
+    def test_cni_beats_ni2w_at_64_bytes(self):
+        """Headline Figure-6 claim at the 64-byte point."""
+        ni2w = round_trip_latency("NI2w", "memory", 64, iterations=10, warmup=4)
+        cni = round_trip_latency("CNI512Q", "memory", 64, iterations=10, warmup=4)
+        assert cni.round_trip_cycles < ni2w.round_trip_cycles
+
+    def test_io_bus_slower_than_memory_bus(self):
+        mem = round_trip_latency("CNI512Q", "memory", 64, iterations=6, warmup=2)
+        io = round_trip_latency("CNI512Q", "io", 64, iterations=6, warmup=2)
+        assert io.round_trip_cycles > mem.round_trip_cycles
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(MicrobenchmarkError):
+            round_trip_latency("NI2w", "memory", 64, iterations=0)
+
+
+class TestBandwidthMicrobenchmark:
+    def test_result_fields(self):
+        result = bandwidth("CNI512Q", "memory", 256, messages=20, warmup=5)
+        assert result.total_cycles > 0
+        assert result.bandwidth_mbps > 0
+        assert 0 < result.relative_bandwidth < 2.0
+        assert result.max_bandwidth_mbps > 0
+
+    def test_cni_bandwidth_exceeds_ni2w(self):
+        """Headline Figure-7 claim at the 256-byte point."""
+        ni2w = bandwidth("NI2w", "memory", 256, messages=25, warmup=5)
+        cni = bandwidth("CNI512Q", "memory", 256, messages=25, warmup=5)
+        assert cni.bandwidth_mbps > 1.5 * ni2w.bandwidth_mbps
+
+    def test_bandwidth_grows_with_message_size_for_ni2w(self):
+        small = bandwidth("NI2w", "memory", 16, messages=25, warmup=5)
+        large = bandwidth("NI2w", "memory", 1024, messages=12, warmup=3)
+        assert large.bandwidth_mbps > small.bandwidth_mbps
+
+    def test_zero_messages_rejected(self):
+        with pytest.raises(MicrobenchmarkError):
+            bandwidth("NI2w", "memory", 64, messages=0)
+
+
+class TestMacroExperiments:
+    def test_run_macrobenchmark_result(self):
+        result = run_macrobenchmark(
+            "em3d", "CNI16Qm", "memory", num_nodes=4, scale=0.2,
+            workload_kwargs={"iterations": 1, "nodes_per_proc": 12},
+        )
+        assert result.cycles > 0
+        assert result.ni_name == "CNI16Qm"
+        assert result.memory_bus_occupancy > 0
+
+    def test_speedup_sweep_includes_baseline(self):
+        sweep = speedup_sweep(
+            "gauss",
+            [("CNI16Qm", "memory")],
+            num_nodes=4,
+            scale=0.15,
+            workload_kwargs={"elimination_cycles": 2000},
+        )
+        assert sweep["NI2w@memory"]["speedup"] == 1.0
+        assert "CNI16Qm@memory" in sweep
+        assert sweep["CNI16Qm@memory"]["speedup"] > 0
+
+    def test_bus_occupancy_reduction_positive_for_cqs(self):
+        reductions = bus_occupancy_reduction(
+            "gauss", devices=("NI2w", "CNI512Q"), num_nodes=4, scale=0.15
+        )
+        assert reductions["NI2w"] == 0.0
+        assert reductions["CNI512Q"] > 0.0
+
+
+class TestFigureSeries:
+    def test_figure6_quick_structure(self):
+        series = figures.figure6_latency(sizes=(16,), iterations=4)
+        assert set(series) == {"memory", "io", "alternate"}
+        assert set(series["memory"]) == set(MEMORY_BUS_DEVICES)
+        assert set(series["io"]) == set(IO_BUS_DEVICES)
+        assert "NI2w@cache" in series["alternate"]
+        for device_series in series["memory"].values():
+            assert 16 in device_series
+            assert device_series[16] > 0
+
+    def test_figure7_quick_structure(self):
+        series = figures.figure7_bandwidth(sizes=(64,), messages=12)
+        assert "CNI16Qm+snarf" in series["memory"]
+        for panel in series.values():
+            for device_series in panel.values():
+                for value in device_series.values():
+                    assert value > 0
+
+    def test_figure8_quick_structure(self):
+        series = figures.figure8_macro(
+            workloads=("em3d",), num_nodes=4, scale=0.2
+        )
+        assert set(series) == {"memory", "io", "alternate"}
+        memory_panel = series["memory"]["em3d"]
+        assert memory_panel["NI2w@memory"] == 1.0
+        assert len(memory_panel) == len(MEMORY_BUS_DEVICES)
+
+
+class TestTables:
+    def test_table1_lists_all_five_devices(self):
+        rows = tables.table1_device_summary()
+        assert [row["device"] for row in rows] == list(MEMORY_BUS_DEVICES)
+        qm_row = rows[-1]
+        assert qm_row["home"] == "main memory"
+        assert qm_row["coherent"] == "yes"
+
+    def test_table2_matches_paper_values(self):
+        rows = tables.table2_bus_occupancy()
+        by_op = {row["operation"]: row for row in rows}
+        assert by_op["Uncached 8-byte load from NI"]["memory_bus"] == 28
+        assert by_op["Uncached 8-byte store to NI"]["io_bus"] == 32
+        assert by_op["Memory-to-cache transfer (64 bytes)"]["memory_bus"] == 42
+        assert (
+            by_op["Cache-to-cache transfer from CNI to processor (64 bytes)"]["io_bus"] == 76
+        )
+
+    def test_table3_covers_all_benchmarks(self):
+        rows = tables.table3_macrobenchmarks()
+        assert {row["benchmark"] for row in rows} == {
+            "spsolve", "gauss", "em3d", "moldyn", "appbt",
+        }
+
+    def test_table4_cni_row(self):
+        rows = tables.table4_related_work()
+        cni = rows[0]
+        assert cni["interface"] == "CNI"
+        assert cni["coherence"] == "Yes"
+        assert len(rows) == 12
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = report.format_table(
+            [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}], title="T"
+        )
+        assert text.startswith("T\n")
+        assert "222" in text and "xy" in text
+
+    def test_format_empty_table(self):
+        assert "(empty)" in report.format_table([], title="none")
+
+    def test_format_series_panel(self):
+        text = report.format_series_panel({"NI2w": {8: 1.5, 64: 2.5}}, title="[mem]")
+        assert "NI2w" in text and "1.50" in text and "2.50" in text
+
+    def test_format_figure_and_speedups(self):
+        figure = {"memory": {"NI2w": {8: 1.0}}}
+        assert "Figure" in report.format_figure(figure, "Figure test")
+        speedups = {"memory": {"gauss": {"NI2w@memory": 1.0, "CNI4@memory": 1.4}}}
+        text = report.format_speedups(speedups, "Fig 8")
+        assert "gauss" in text and "1.40" in text

@@ -1,0 +1,209 @@
+"""Tests for the Tempest-like messaging layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import build_machine
+from repro.msglayer.messaging import MessagingError
+
+
+class TestHandlerRegistry:
+    def test_duplicate_registration_rejected(self):
+        machine = build_machine()
+        ml = machine.messaging[0]
+        ml.register_handler("h", lambda *a: None)
+        with pytest.raises(MessagingError):
+            ml.register_handler("h", lambda *a: None)
+        assert ml.has_handler("h")
+
+    def test_missing_handler_raises_on_dispatch(self):
+        machine = build_machine()
+        ml0, ml1 = machine.messaging
+
+        def sender():
+            yield from ml0.send_active_message(1, "nonexistent", 16)
+
+        def receiver():
+            for _ in range(200):
+                yield from ml1.poll()
+                yield 20
+
+        with pytest.raises(MessagingError):
+            machine.run_programs([sender(), receiver()], max_cycles=5_000_000)
+
+
+class TestFragmentation:
+    def test_fragments_needed(self):
+        machine = build_machine()
+        ml = machine.messaging[0]
+        payload = machine.params.network_payload_bytes
+        assert ml.fragments_needed(0) == 1
+        assert ml.fragments_needed(1) == 1
+        assert ml.fragments_needed(payload) == 1
+        assert ml.fragments_needed(payload + 1) == 2
+        assert ml.fragments_needed(10 * payload) == 10
+
+    @given(user_bytes=st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=200, deadline=None)
+    def test_fragment_count_covers_payload_exactly(self, user_bytes):
+        machine = build_machine()
+        ml = machine.messaging[0]
+        payload = machine.params.network_payload_bytes
+        count = ml.fragments_needed(user_bytes)
+        assert count >= 1
+        assert (count - 1) * payload < max(user_bytes, 1) <= count * payload
+
+    def test_handler_invoked_once_per_user_message(self):
+        machine = build_machine()
+        ml0, ml1 = machine.messaging
+        calls = []
+        ml1.register_handler("bulk", lambda ml, s, n, b: calls.append((s, n, b)))
+
+        def sender():
+            yield from ml0.send_active_message(1, "bulk", 1000, ("tag",))
+            yield from ml0.send_active_message(1, "bulk", 50, ("tag2",))
+
+        def receiver():
+            while len(calls) < 2:
+                got = yield from ml1.poll()
+                if not got:
+                    yield 20
+
+        machine.run_programs([sender(), receiver()], max_cycles=50_000_000)
+        assert calls == [(0, 1000, ("tag",)), (0, 50, ("tag2",))]
+        assert ml1.stats.get("network_messages_received") == ml0.stats.get("network_messages_sent")
+
+
+class TestLocalDelivery:
+    def test_send_to_self_uses_local_path(self):
+        machine = build_machine()
+        ml0 = machine.messaging[0]
+        calls = []
+        ml0.register_handler("loop", lambda ml, s, n, b: calls.append((s, n)))
+
+        def program():
+            yield from ml0.send_active_message(0, "loop", 32)
+
+        machine.run_programs({0: program()}, max_cycles=1_000_000)
+        assert calls == [(0, 32)]
+        assert ml0.stats.get("local_deliveries") == 1
+        assert machine.network_stats().get("messages_injected", 0) == 0
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_other_node(self):
+        machine = build_machine("CNI16Qm", "memory", num_nodes=4)
+        received = {i: 0 for i in range(4)}
+        for node_id, ml in enumerate(machine.messaging):
+            ml.register_handler(
+                "news", lambda m, s, n, b, node_id=node_id: received.__setitem__(node_id, received[node_id] + 1)
+            )
+
+        def sender():
+            yield from machine.messaging[0].broadcast("news", 100)
+
+        def listener(node_id):
+            ml = machine.messaging[node_id]
+            while received[node_id] < 1:
+                got = yield from ml.poll()
+                if not got:
+                    yield 20
+
+        programs = {0: sender()}
+        for node_id in range(1, 4):
+            programs[node_id] = listener(node_id)
+        machine.run_programs(programs, max_cycles=50_000_000)
+        assert received == {0: 0, 1: 1, 2: 1, 3: 1}
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("num_nodes", [2, 4])
+    def test_barrier_synchronizes_all_nodes(self, num_nodes):
+        machine = build_machine("CNI16Qm", "memory", num_nodes=num_nodes)
+        reached = []
+        released = []
+
+        def program(node_id):
+            ml = machine.messaging[node_id]
+            yield machine.sim.now + node_id * 500  # skewed arrival
+            reached.append((node_id, machine.sim.now))
+            yield from ml.barrier()
+            released.append((node_id, machine.sim.now))
+
+        machine.run_programs([program(i) for i in range(num_nodes)], max_cycles=100_000_000)
+        assert len(released) == num_nodes
+        last_arrival = max(t for _, t in reached)
+        # Nobody leaves the barrier before the last node has arrived.
+        assert all(t >= last_arrival for _, t in released)
+
+    def test_repeated_barriers(self):
+        machine = build_machine("CNI512Q", "memory", num_nodes=3)
+        counts = []
+
+        def program(node_id):
+            ml = machine.messaging[node_id]
+            for _ in range(3):
+                yield from ml.barrier()
+            counts.append(node_id)
+
+        machine.run_programs([program(i) for i in range(3)], max_cycles=100_000_000)
+        assert sorted(counts) == [0, 1, 2]
+        assert machine.messaging[0].stats.get("barriers") == 3
+
+    def test_single_node_barrier_is_trivial(self):
+        machine = build_machine("CNI16Qm", "memory", num_nodes=1)
+        ml = machine.messaging[0]
+
+        def program():
+            yield from ml.barrier()
+
+        machine.run_programs([program()], max_cycles=1_000_000)
+
+
+class TestSoftwareBuffering:
+    def test_blocked_sender_buffers_incoming_messages(self):
+        """With a tiny device-homed queue, two nodes flooding each other must
+        fall back to user-space buffering rather than deadlocking."""
+        machine = build_machine("CNI16Q", "memory", num_nodes=2)
+        ml0, ml1 = machine.messaging
+        counts = {0: 0, 1: 0}
+        for node_id, ml in enumerate(machine.messaging):
+            ml.register_handler(
+                "flood", lambda m, s, n, b, node_id=node_id: counts.__setitem__(node_id, counts[node_id] + 1)
+            )
+        n_messages = 30
+
+        def program(node_id):
+            ml = machine.messaging[node_id]
+            other = 1 - node_id
+            for _ in range(n_messages):
+                yield from ml.send_active_message(other, "flood", 244)
+            while counts[node_id] < n_messages:
+                got = yield from ml.poll()
+                if not got:
+                    yield 20
+
+        machine.run_programs([program(0), program(1)], max_cycles=400_000_000)
+        assert counts == {0: n_messages, 1: n_messages}
+
+    def test_ni2w_mutual_flood_completes(self):
+        machine = build_machine("NI2w", "memory", num_nodes=2, fifo_messages=2)
+        ml_list = machine.messaging
+        counts = {0: 0, 1: 0}
+        for node_id, ml in enumerate(ml_list):
+            ml.register_handler(
+                "flood", lambda m, s, n, b, node_id=node_id: counts.__setitem__(node_id, counts[node_id] + 1)
+            )
+
+        def program(node_id):
+            ml = ml_list[node_id]
+            for _ in range(20):
+                yield from ml.send_active_message(1 - node_id, "flood", 200)
+            while counts[node_id] < 20:
+                got = yield from ml.poll()
+                if not got:
+                    yield 20
+
+        machine.run_programs([program(0), program(1)], max_cycles=400_000_000)
+        assert counts == {0: 20, 1: 20}

@@ -1,0 +1,152 @@
+"""Tests for the network fabric and the sliding-window flow control."""
+
+import pytest
+
+from repro.common.params import DEFAULT_PARAMS
+from repro.common.types import NetworkMessage
+from repro.network.fabric import NetworkError, NetworkFabric, SlidingWindow
+from repro.sim import Simulator
+
+
+def make_fabric():
+    sim = Simulator()
+    fabric = NetworkFabric(sim, DEFAULT_PARAMS)
+    return sim, fabric
+
+
+def attach_sink(fabric, node_id):
+    messages = []
+    acks = []
+    fabric.attach(node_id, messages.append, acks.append)
+    return messages, acks
+
+
+class TestFabricDelivery:
+    def test_message_arrives_after_fixed_latency(self):
+        sim, fabric = make_fabric()
+        inbox0, _ = attach_sink(fabric, 0)
+        inbox1, _ = attach_sink(fabric, 1)
+        message = NetworkMessage(source=0, dest=1, payload_bytes=64)
+        fabric.inject(message)
+        sim.run()
+        assert inbox1 == [message]
+        assert message.deliver_time - message.inject_time == DEFAULT_PARAMS.network_latency_cycles
+
+    def test_point_to_point_order_preserved(self):
+        sim, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        inbox1, _ = attach_sink(fabric, 1)
+        messages = [NetworkMessage(source=0, dest=1, payload_bytes=8, seq=i) for i in range(5)]
+        for m in messages:
+            fabric.inject(m)
+        sim.run()
+        assert [m.seq for m in inbox1] == [0, 1, 2, 3, 4]
+
+    def test_unattached_destination_rejected(self):
+        sim, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        with pytest.raises(NetworkError):
+            fabric.inject(NetworkMessage(source=0, dest=7, payload_bytes=8))
+
+    def test_unattached_source_rejected(self):
+        sim, fabric = make_fabric()
+        attach_sink(fabric, 1)
+        with pytest.raises(NetworkError):
+            fabric.inject(NetworkMessage(source=5, dest=1, payload_bytes=8))
+
+    def test_double_attach_rejected(self):
+        _, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        with pytest.raises(NetworkError):
+            attach_sink(fabric, 0)
+
+    def test_detach_then_reattach(self):
+        _, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        fabric.detach(0)
+        attach_sink(fabric, 0)
+        assert fabric.node_ids == (0,)
+
+    def test_ack_round_trip(self):
+        sim, fabric = make_fabric()
+        _, acks0 = attach_sink(fabric, 0)
+        attach_sink(fabric, 1)
+        fabric.send_ack(from_node=1, to_node=0)
+        sim.run()
+        assert acks0 == [1]
+        assert fabric.stats.get("acks_delivered") == 1
+
+    def test_ack_to_unattached_node_rejected(self):
+        _, fabric = make_fabric()
+        attach_sink(fabric, 1)
+        with pytest.raises(NetworkError):
+            fabric.send_ack(from_node=1, to_node=3)
+
+    def test_latency_samples_recorded(self):
+        sim, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        attach_sink(fabric, 1)
+        fabric.inject(NetworkMessage(source=0, dest=1, payload_bytes=8))
+        sim.run()
+        assert fabric.latency_samples.count == 1
+        assert fabric.latency_samples.mean == DEFAULT_PARAMS.network_latency_cycles
+
+    def test_stats_accumulate(self):
+        sim, fabric = make_fabric()
+        attach_sink(fabric, 0)
+        attach_sink(fabric, 1)
+        for i in range(3):
+            fabric.inject(NetworkMessage(source=0, dest=1, payload_bytes=100))
+        sim.run()
+        assert fabric.stats.get("messages_injected") == 3
+        assert fabric.stats.get("messages_delivered") == 3
+        assert fabric.stats.get("payload_bytes") == 300
+
+
+class TestSlidingWindow:
+    def test_window_allows_up_to_limit(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        for _ in range(DEFAULT_PARAMS.sliding_window):
+            assert window.can_send(1)
+            window.reserve(1)
+        assert not window.can_send(1)
+
+    def test_reserve_beyond_window_raises(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        for _ in range(DEFAULT_PARAMS.sliding_window):
+            window.reserve(1)
+        with pytest.raises(NetworkError):
+            window.reserve(1)
+
+    def test_per_destination_independence(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        for _ in range(DEFAULT_PARAMS.sliding_window):
+            window.reserve(1)
+        assert window.can_send(2)
+        assert window.outstanding(1) == DEFAULT_PARAMS.sliding_window
+        assert window.outstanding(2) == 0
+
+    def test_ack_frees_slot_and_fires_signal(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        window.reserve(1)
+        before = window.slot_freed.fire_count
+        window.on_ack(1)
+        assert window.outstanding(1) == 0
+        assert window.slot_freed.fire_count == before + 1
+
+    def test_spurious_ack_rejected(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        with pytest.raises(NetworkError):
+            window.on_ack(3)
+
+    def test_total_outstanding(self):
+        sim = Simulator()
+        window = SlidingWindow(sim, DEFAULT_PARAMS, node_id=0)
+        window.reserve(1)
+        window.reserve(2)
+        assert window.total_outstanding() == 2

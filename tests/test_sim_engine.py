@@ -1,0 +1,159 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(5, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10, lambda: None)
+
+    def test_zero_delay_event_runs(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0, seen.append, 1)
+        sim.run()
+        assert seen == [1]
+
+    def test_events_scheduled_from_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(5, second)
+
+        def second():
+            seen.append(("second", sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == [("first", 10), ("second", 15)]
+
+    def test_event_count_tracks_executions(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.event_count == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, seen.append, "x")
+        sim.cancel(handle)
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        sim.run()
+
+    def test_peek_skips_cancelled_events(self):
+        sim = Simulator()
+        first = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        sim.cancel(first)
+        assert sim.peek() == 9
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "early")
+        sim.schedule(100, seen.append, "late")
+        sim.run(until=50)
+        assert seen == ["early"]
+        assert sim.now == 50
+
+    def test_run_until_resumable(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "a")
+        sim.schedule(100, seen.append, "b")
+        sim.run(until=50)
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(i + 1, seen.append, i)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_run_empty_queue_returns_current_time(self):
+        sim = Simulator()
+        assert sim.run() == 0
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_peek_returns_none_when_idle(self):
+        assert Simulator().peek() is None
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

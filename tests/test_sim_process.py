@@ -1,0 +1,293 @@
+"""Tests for generator-based processes, signals and resources."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Delay,
+    Join,
+    Resource,
+    Signal,
+    SimulationError,
+    Simulator,
+    Wait,
+    start_process,
+)
+
+
+class TestDelays:
+    def test_plain_number_delay(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield 10
+            trace.append(sim.now)
+            yield 5
+            trace.append(sim.now)
+
+        start_process(sim, proc())
+        sim.run()
+        assert trace == [10, 15]
+
+    def test_delay_object(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield Delay(7)
+            trace.append(sim.now)
+
+        start_process(sim, proc())
+        sim.run()
+        assert trace == [7]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Delay(-3)
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            return "result"
+
+        process = start_process(sim, proc())
+        sim.run()
+        assert process.finished
+        assert process.result == "result"
+
+    def test_subgenerator_composition(self):
+        sim = Simulator()
+        trace = []
+
+        def inner():
+            yield 5
+            return 42
+
+        def outer():
+            value = yield from inner()
+            trace.append((sim.now, value))
+
+        start_process(sim, outer())
+        sim.run()
+        assert trace == [(5, 42)]
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield object()
+
+        start_process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestSignals:
+    def test_wait_receives_payload(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            payload = yield Wait(signal)
+            got.append(payload)
+
+        def firer():
+            yield 20
+            signal.fire("hello")
+
+        start_process(sim, waiter())
+        start_process(sim, firer())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_yield_signal_directly(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            payload = yield signal
+            got.append(payload)
+
+        start_process(sim, waiter())
+        sim.schedule(5, signal.fire, "direct")
+        sim.run()
+        assert got == ["direct"]
+
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(name):
+            yield Wait(signal)
+            woken.append(name)
+
+        for name in ("a", "b", "c"):
+            start_process(sim, waiter(name))
+        sim.schedule(1, signal.fire)
+        sim.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_fire_without_waiters_is_harmless(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.fire("nobody")
+        assert signal.fire_count == 1
+        assert signal.waiter_count == 0
+
+    def test_waiters_registered_only_once_per_wait(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        wakeups = []
+
+        def waiter():
+            yield Wait(signal)
+            wakeups.append(sim.now)
+            # Not waiting again: a second fire must not wake us.
+
+        start_process(sim, waiter())
+        sim.schedule(5, signal.fire)
+        sim.schedule(10, signal.fire)
+        sim.run()
+        assert wakeups == [5]
+
+
+class TestResources:
+    def test_mutual_exclusion_serializes_holders(self):
+        sim = Simulator()
+        bus = Resource(sim, "bus")
+        intervals = []
+
+        def user(name, hold):
+            yield Acquire(bus)
+            start = sim.now
+            yield hold
+            bus.release()
+            intervals.append((name, start, sim.now))
+
+        start_process(sim, user("a", 10))
+        start_process(sim, user("b", 10))
+        sim.run()
+        # The second user cannot start before the first finished.
+        assert intervals[0][2] <= intervals[1][1]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, "res")
+        order = []
+
+        def user(name):
+            yield Acquire(res)
+            order.append(name)
+            yield 5
+            res.release()
+
+        for name in ("first", "second", "third"):
+            start_process(sim, user(name))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        res = Resource(sim, "res")
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_capacity_greater_than_one(self):
+        sim = Simulator()
+        res = Resource(sim, "res", capacity=2)
+        concurrent = {"now": 0, "max": 0}
+
+        def user():
+            yield Acquire(res)
+            concurrent["now"] += 1
+            concurrent["max"] = max(concurrent["max"], concurrent["now"])
+            yield 10
+            concurrent["now"] -= 1
+            res.release()
+
+        for _ in range(4):
+            start_process(sim, user())
+        sim.run()
+        assert concurrent["max"] == 2
+
+    def test_try_acquire_now(self):
+        sim = Simulator()
+        res = Resource(sim, "res")
+        assert res.try_acquire_now() is True
+        assert res.try_acquire_now() is False
+        res.release()
+        assert res.try_acquire_now() is True
+
+    def test_busy_cycles_accounting(self):
+        sim = Simulator()
+        res = Resource(sim, "res")
+
+        def user():
+            yield Acquire(res)
+            yield 25
+            res.release()
+
+        start_process(sim, user())
+        sim.run()
+        assert res.busy_cycles == 25
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), "bad", capacity=0)
+
+
+class TestJoin:
+    def test_join_waits_for_completion_and_gets_result(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            yield 30
+            return "done"
+
+        def waiter(target):
+            value = yield Join(target)
+            results.append((sim.now, value))
+
+        target = start_process(sim, worker())
+        start_process(sim, waiter(target))
+        sim.run()
+        assert results == [(30, "done")]
+
+    def test_join_on_finished_process_returns_immediately(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            yield 5
+            return 99
+
+        target = start_process(sim, worker())
+        sim.run()
+
+        def waiter():
+            value = yield Join(target)
+            results.append(value)
+
+        start_process(sim, waiter())
+        sim.run()
+        assert results == [99]
+
+    def test_process_exception_propagates(self):
+        sim = Simulator()
+
+        def bad():
+            yield 1
+            raise ValueError("boom")
+
+        process = start_process(sim, bad())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert process.finished
+        assert isinstance(process.exception, ValueError)

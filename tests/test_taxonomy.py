@@ -1,0 +1,106 @@
+"""Tests for the NI/CNI taxonomy parser and device factory."""
+
+import pytest
+
+from repro.ni import (
+    CNI4,
+    CNI16Q,
+    CNI512Q,
+    CNI16Qm,
+    NI2w,
+    TaxonomyError,
+    available_devices,
+    classify_existing_machines,
+    device_class,
+    parse_ni_name,
+    register_device,
+)
+from repro.ni.base import AbstractNI
+from repro.ni.taxonomy import EVALUATED_DEVICES, _DEVICE_CLASSES
+
+
+class TestParser:
+    def test_ni2w(self):
+        spec = parse_ni_name("NI2w")
+        assert not spec.coherent
+        assert spec.exposed_size == 2
+        assert spec.unit == "words"
+        assert spec.queue is None
+        assert spec.home == "device"
+        assert spec.exposed_blocks is None
+
+    def test_cni4(self):
+        spec = parse_ni_name("CNI4")
+        assert spec.coherent
+        assert spec.exposed_size == 4
+        assert spec.unit == "blocks"
+        assert spec.queue is None
+        assert spec.exposed_blocks == 4
+
+    def test_cni16q(self):
+        spec = parse_ni_name("CNI16Q")
+        assert spec.coherent and spec.queue == "Q" and spec.home == "device"
+
+    def test_cni512q(self):
+        spec = parse_ni_name("CNI512Q")
+        assert spec.exposed_size == 512 and spec.queue == "Q"
+
+    def test_cni16qm(self):
+        spec = parse_ni_name("CNI16Qm")
+        assert spec.queue == "Qm"
+        assert spec.home == "memory"
+
+    def test_paper_classification_of_existing_machines(self):
+        machines = classify_existing_machines()
+        assert machines["TMC CM-5"] == "NI2w"
+        assert parse_ni_name(machines["MIT Alewife"]).exposed_size == 16
+        assert parse_ni_name(machines["MIT *T-NG"]).queue == "Q"
+
+    @pytest.mark.parametrize("bad", ["", "XNI4", "CNI", "NI0", "CNIQ", "NI-4", "NI4Qx"])
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(TaxonomyError):
+            parse_ni_name(bad)
+
+    def test_memory_home_requires_coherent_device(self):
+        with pytest.raises(TaxonomyError):
+            parse_ni_name("NI16Qm")
+
+    def test_describe_mentions_key_attributes(self):
+        text = parse_ni_name("CNI16Qm").describe()
+        assert "coherent" in text and "16" in text and "memory" in text
+
+
+class TestFactory:
+    def test_evaluated_devices_resolve_to_classes(self):
+        assert device_class("NI2w") is NI2w
+        assert device_class("CNI4") is CNI4
+        assert device_class("CNI16Q") is CNI16Q
+        assert device_class("CNI512Q") is CNI512Q
+        assert device_class("CNI16Qm") is CNI16Qm
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(TaxonomyError):
+            device_class("CNI1024Q")
+
+    def test_evaluated_device_list_matches_paper(self):
+        assert EVALUATED_DEVICES == ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
+
+    def test_available_devices_sorted(self):
+        devices = available_devices()
+        assert list(devices) == sorted(devices)
+        for name in EVALUATED_DEVICES:
+            assert name in devices
+
+    def test_register_custom_device(self):
+        class MyNI(NI2w):
+            taxonomy_name = "NI4w"
+
+        register_device("NI4w", MyNI)
+        try:
+            assert device_class("NI4w") is MyNI
+        finally:
+            _DEVICE_CLASSES.pop("NI4w", None)
+
+    def test_register_non_ni_class_rejected(self):
+        with pytest.raises(TaxonomyError):
+            register_device("bogus", int)
