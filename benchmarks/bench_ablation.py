@@ -6,15 +6,18 @@ Three ablations exercise knobs the paper discusses:
   smooths bursts),
 * data snarfing on the CNI16Qm receive path (Section 5.1.2),
 * the hardware sliding-window depth (end-point flow control).
+
+Machine variants are expressed as :class:`repro.api.ExperimentSpec` specs —
+``ni_kwargs`` for device knobs, ``params`` for machine-parameter overrides —
+and built with :meth:`Machine.from_spec`, so invalid knobs fail fast with a
+``TaxonomyError`` instead of deep inside node assembly.
 """
 
 import pytest
 
-from _util import single_run
-from repro.common.params import DEFAULT_PARAMS
-from repro.experiments.microbench import bandwidth, round_trip_latency
+from _util import bandwidth_point, latency_point, single_run
+from repro.api import ExperimentSpec
 from repro.node.machine import Machine
-from repro.node.node import NodeConfig
 
 
 def _stream_cycles(machine, payload_bytes=244, count=60):
@@ -43,14 +46,12 @@ def test_ablation_queue_capacity(benchmark):
     def sweep():
         results = {}
         for blocks in (8, 16, 64, 512):
-            machine = Machine(
+            spec = ExperimentSpec(
+                device="CNI16Q",
                 num_nodes=2,
-                node_config=NodeConfig(
-                    ni_name="CNI16Q",
-                    ni_kwargs={"send_queue_blocks": blocks, "recv_queue_blocks": blocks},
-                ),
+                ni_kwargs={"send_queue_blocks": blocks, "recv_queue_blocks": blocks},
             )
-            results[blocks] = _stream_cycles(machine)
+            results[blocks] = _stream_cycles(Machine.from_spec(spec))
         return results
 
     results = single_run(benchmark, sweep)
@@ -66,9 +67,9 @@ def test_ablation_data_snarfing(benchmark):
     """Snarfing the CNI16Qm writebacks reduces receive-side read misses."""
 
     def sweep():
-        plain = bandwidth("CNI16Qm", "memory", 2048, messages=40, warmup=10, snarfing=False)
-        snarf = bandwidth("CNI16Qm", "memory", 2048, messages=40, warmup=10, snarfing=True)
-        return plain.bandwidth_mbps, snarf.bandwidth_mbps
+        plain = bandwidth_point("CNI16Qm", "memory", 2048, messages=40, warmup=10)
+        snarf = bandwidth_point("CNI16Qm", "memory", 2048, messages=40, warmup=10, snarfing=True)
+        return plain.metrics["bandwidth_mbps"], snarf.metrics["bandwidth_mbps"]
 
     plain_mbps, snarf_mbps = single_run(benchmark, sweep)
     print(f"\nSnarfing ablation: without {plain_mbps:.1f} MB/s, with {snarf_mbps:.1f} MB/s")
@@ -82,9 +83,12 @@ def test_ablation_sliding_window(benchmark):
     def sweep():
         results = {}
         for window in (1, 2, 4, 8):
-            params = DEFAULT_PARAMS.with_overrides(sliding_window=window)
-            machine = Machine.build("CNI512Q", "memory", num_nodes=2, params=params)
-            results[window] = _stream_cycles(machine)
+            spec = ExperimentSpec(
+                device="CNI512Q",
+                num_nodes=2,
+                params={"sliding_window": window},
+            )
+            results[window] = _stream_cycles(Machine.from_spec(spec))
         return results
 
     results = single_run(benchmark, sweep)
@@ -97,9 +101,9 @@ def test_ablation_device_placement(benchmark):
     """The same device gets slower moving from the memory bus to the I/O bus."""
 
     def sweep():
-        mem = round_trip_latency("CNI512Q", "memory", 64, iterations=10, warmup=4)
-        io = round_trip_latency("CNI512Q", "io", 64, iterations=10, warmup=4)
-        return mem.round_trip_us, io.round_trip_us
+        mem = latency_point("CNI512Q", "memory", 64, iterations=10, warmup=4)
+        io = latency_point("CNI512Q", "io", 64, iterations=10, warmup=4)
+        return mem.metrics["round_trip_us"], io.metrics["round_trip_us"]
 
     mem_us, io_us = single_run(benchmark, sweep)
     print(f"\nPlacement ablation (64-byte RTT): memory bus {mem_us:.2f} us, I/O bus {io_us:.2f} us")

@@ -1,26 +1,34 @@
 """Section 5.2 claim: CQ-based CNIs cut memory-bus occupancy by up to ~66 %
-(five-benchmark average) versus NI2w; CNI4 by roughly a quarter."""
+(five-benchmark average) versus NI2w; CNI4 by roughly a quarter.
+
+The per-device runs are one declarative :func:`repro.api.macro_sweep`; the
+reductions come from the structured results."""
 
 import pytest
 
-from _util import single_run
-from repro.experiments.macro import bus_occupancy_reduction
+from _util import runner, single_run
+from repro.api import macro_sweep, occupancy_reductions
 
 NUM_NODES = 8
 SCALE = 0.25
 WORKLOADS = ("spsolve", "em3d", "moldyn")
+DEVICES = ("NI2w", "CNI4", "CNI512Q", "CNI16Qm")
+
+
+def _reductions(workload):
+    sweep = macro_sweep(
+        [workload],
+        [(device, "memory") for device in DEVICES],
+        num_nodes=NUM_NODES,
+        scale=SCALE,
+    )
+    results = runner().run(sweep)
+    return occupancy_reductions(results, workload)
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_memory_bus_occupancy_reduction(benchmark, workload):
-    reductions = single_run(
-        benchmark,
-        bus_occupancy_reduction,
-        workload,
-        ("NI2w", "CNI4", "CNI512Q", "CNI16Qm"),
-        NUM_NODES,
-        SCALE,
-    )
+    reductions = single_run(benchmark, _reductions, workload)
     print(f"\n[{workload}] memory-bus occupancy reduction vs NI2w: "
           + ", ".join(f"{k}={v:.0%}" for k, v in reductions.items()))
     # CQ-based CNIs reduce occupancy substantially more than CNI4.

@@ -3,14 +3,17 @@
 Panels: (a) all five devices on the memory bus, (b) the four I/O-bus-capable
 devices on the I/O bus, (c) the best device per bus (NI2w on the cache bus,
 CNI16Qm on the memory bus, CNI512Q on the I/O bus).
+
+Sweeps run through :mod:`repro.api` (``ExperimentSpec`` points executed by
+a serial ``SweepRunner``) so the benchmark exercises the same path as
+``python -m repro.experiments.run fig6``.
 """
 
 import pytest
 
-from _util import single_run
+from _util import latency_point, latency_series, single_run
 from repro.experiments import report
 from repro.experiments.macro import IO_BUS_DEVICES, MEMORY_BUS_DEVICES
-from repro.experiments.microbench import round_trip_latency
 
 #: Reduced sweep (the full Figure 6 axis is 8-256 bytes).
 SIZES = (8, 64, 256)
@@ -19,12 +22,7 @@ WARMUP = 6
 
 
 def _sweep(device, bus):
-    return {
-        size: round_trip_latency(
-            device, bus, size, iterations=ITERATIONS, warmup=WARMUP
-        ).round_trip_us
-        for size in SIZES
-    }
+    return latency_series(device, bus, SIZES, ITERATIONS, WARMUP)
 
 
 @pytest.mark.parametrize("device", MEMORY_BUS_DEVICES)
@@ -56,9 +54,9 @@ def test_fig6_headline_claim_cni_faster_than_ni2w(benchmark):
     """CNIs improve 64-byte round-trip latency over NI2w on the memory bus."""
 
     def claim():
-        ni2w = round_trip_latency("NI2w", "memory", 64, iterations=10, warmup=4)
-        cni = round_trip_latency("CNI512Q", "memory", 64, iterations=10, warmup=4)
-        return ni2w.round_trip_us, cni.round_trip_us
+        ni2w = latency_point("NI2w", "memory", 64, iterations=10, warmup=4)
+        cni = latency_point("CNI512Q", "memory", 64, iterations=10, warmup=4)
+        return ni2w.metrics["round_trip_us"], cni.metrics["round_trip_us"]
 
     ni2w_us, cni_us = single_run(benchmark, claim)
     improvement = ni2w_us / cni_us - 1.0

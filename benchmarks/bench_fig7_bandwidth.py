@@ -3,14 +3,16 @@
 Bandwidth is reported as a fraction of the bandwidth two processors on the
 same coherent memory bus can sustain through a local cachable queue, as in
 the paper.  Includes the CNI16Qm-with-snarfing series of Figure 7a.
+
+Sweeps run through :mod:`repro.api`, the same path as
+``python -m repro.experiments.run fig7``.
 """
 
 import pytest
 
-from _util import single_run
+from _util import bandwidth_point, bandwidth_series, single_run
 from repro.experiments import report
 from repro.experiments.macro import IO_BUS_DEVICES, MEMORY_BUS_DEVICES
-from repro.experiments.microbench import bandwidth
 
 #: Reduced sweep (the full Figure 7 axis is 8-4096 bytes).
 SIZES = (64, 512, 2048)
@@ -19,12 +21,7 @@ WARMUP = 10
 
 
 def _sweep(device, bus, snarfing=False):
-    return {
-        size: bandwidth(
-            device, bus, size, messages=MESSAGES, warmup=WARMUP, snarfing=snarfing
-        ).relative_bandwidth
-        for size in SIZES
-    }
+    return bandwidth_series(device, bus, SIZES, MESSAGES, WARMUP, snarfing=snarfing)
 
 
 @pytest.mark.parametrize("device", MEMORY_BUS_DEVICES)
@@ -62,9 +59,9 @@ def test_fig7_headline_claim_cni_bandwidth_gain(benchmark):
     """CNIs improve achievable bandwidth for 64-byte messages over NI2w."""
 
     def claim():
-        ni2w = bandwidth("NI2w", "memory", 64, messages=40, warmup=10)
-        cni = bandwidth("CNI512Q", "memory", 64, messages=40, warmup=10)
-        return ni2w.bandwidth_mbps, cni.bandwidth_mbps
+        ni2w = bandwidth_point("NI2w", "memory", 64, messages=40, warmup=10)
+        cni = bandwidth_point("CNI512Q", "memory", 64, messages=40, warmup=10)
+        return ni2w.metrics["bandwidth_mbps"], cni.metrics["bandwidth_mbps"]
 
     ni2w_mbps, cni_mbps = single_run(benchmark, claim)
     gain = cni_mbps / ni2w_mbps - 1.0

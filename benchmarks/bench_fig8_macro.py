@@ -6,17 +6,19 @@ bus, CNI16Qm on the memory bus, CNI512Q on the I/O bus).
 
 The benchmark runs a reduced machine (8 nodes, scale 0.25) so the whole
 panel fits in a benchmark run; ``python -m repro.experiments.run fig8``
-regenerates the full 16-node sweep.
+regenerates the full 16-node sweep.  Each panel is a declarative
+:func:`repro.api.macro_sweep` executed by a serial runner, with speedups
+derived from the structured results.
 """
 
 import pytest
 
-from _util import single_run
+from _util import runner, single_run
+from repro.api import macro_sweep, speedups
 from repro.experiments.macro import (
     ALTERNATE_BUS_CONFIGS,
     IO_BUS_DEVICES,
     MEMORY_BUS_DEVICES,
-    speedup_sweep,
 )
 
 NUM_NODES = 8
@@ -33,47 +35,48 @@ WORKLOAD_KWARGS = {
 
 
 def _panel(workload, configurations):
-    sweep = speedup_sweep(
-        workload,
+    sweep = macro_sweep(
+        [workload],
         configurations,
         num_nodes=NUM_NODES,
         scale=SCALE,
-        workload_kwargs=WORKLOAD_KWARGS.get(workload),
+        workload_kwargs=WORKLOAD_KWARGS,
     )
-    return {key: value["speedup"] for key, value in sweep.items()}
+    results = runner().run(sweep)
+    return speedups(results, workload)
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_fig8a_memory_bus_speedups(benchmark, workload):
-    speedups = single_run(
+    speedup_by_config = single_run(
         benchmark, _panel, workload, [(device, "memory") for device in MEMORY_BUS_DEVICES]
     )
     print(f"\nFigure 8a [{workload}] speedup over NI2w/memory: "
-          + ", ".join(f"{k}={v:.2f}" for k, v in speedups.items()))
-    assert speedups["NI2w@memory"] == 1.0
+          + ", ".join(f"{k}={v:.2f}" for k, v in speedup_by_config.items()))
+    assert speedup_by_config["NI2w@memory"] == 1.0
     # The best coherent NI must beat the conventional NI on the memory bus.
-    best_cni = max(v for k, v in speedups.items() if k.startswith("CNI"))
+    best_cni = max(v for k, v in speedup_by_config.items() if k.startswith("CNI"))
     assert best_cni > 1.0
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_fig8b_io_bus_speedups(benchmark, workload):
-    speedups = single_run(
+    speedup_by_config = single_run(
         benchmark, _panel, workload, [(device, "io") for device in IO_BUS_DEVICES]
     )
     print(f"\nFigure 8b [{workload}] speedup over NI2w/memory: "
-          + ", ".join(f"{k}={v:.2f}" for k, v in speedups.items()))
+          + ", ".join(f"{k}={v:.2f}" for k, v in speedup_by_config.items()))
     # On the I/O bus the CQ-based CNIs must beat NI2w on the same bus.
-    assert speedups["CNI512Q@io"] > speedups["NI2w@io"]
+    assert speedup_by_config["CNI512Q@io"] > speedup_by_config["NI2w@io"]
 
 
 @pytest.mark.parametrize("workload", WORKLOADS)
 def test_fig8c_alternate_bus_speedups(benchmark, workload):
-    speedups = single_run(benchmark, _panel, workload, list(ALTERNATE_BUS_CONFIGS))
+    speedup_by_config = single_run(benchmark, _panel, workload, list(ALTERNATE_BUS_CONFIGS))
     print(f"\nFigure 8c [{workload}] speedup over NI2w/memory: "
-          + ", ".join(f"{k}={v:.2f}" for k, v in speedups.items()))
+          + ", ".join(f"{k}={v:.2f}" for k, v in speedup_by_config.items()))
     # Moving NI2w to the cache bus must itself be a clear win over the
     # memory-bus baseline (the rough upper bound of Figure 8c).  Whether it
     # also beats CNI16Qm is workload-dependent (the paper's em3d is a case
     # where it does not), so that is reported rather than asserted.
-    assert speedups["NI2w@cache"] > 1.0
+    assert speedup_by_config["NI2w@cache"] > 1.0

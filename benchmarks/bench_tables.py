@@ -1,33 +1,35 @@
 """Regenerates Tables 1-4 of the paper (device summary, bus occupancy,
-macrobenchmark summary, related-work comparison)."""
+macrobenchmark summary, related-work comparison) through the
+:func:`repro.api.paper_tables` front door."""
 
 from _util import single_run
-from repro.experiments import report, tables
+from repro.api import paper_tables
+from repro.experiments import report
 
 
 def test_table1_device_summary(benchmark):
-    rows = single_run(benchmark, tables.table1_device_summary)
+    rows = single_run(benchmark, lambda: paper_tables()["table1"])
     assert len(rows) == 5
     print()
     print(report.format_table(rows, "Table 1: Network interface devices"))
 
 
 def test_table2_bus_occupancy(benchmark):
-    rows = single_run(benchmark, tables.table2_bus_occupancy)
+    rows = single_run(benchmark, lambda: paper_tables()["table2"])
     assert rows[0]["memory_bus"] == 28
     print()
     print(report.format_table(rows, "Table 2: Bus occupancy (processor cycles)"))
 
 
 def test_table3_macrobenchmarks(benchmark):
-    rows = single_run(benchmark, tables.table3_macrobenchmarks)
+    rows = single_run(benchmark, lambda: paper_tables()["table3"])
     assert len(rows) == 5
     print()
     print(report.format_table(rows, "Table 3: Macrobenchmarks"))
 
 
 def test_table4_related_work(benchmark):
-    rows = single_run(benchmark, tables.table4_related_work)
+    rows = single_run(benchmark, lambda: paper_tables()["table4"])
     assert rows[0]["interface"] == "CNI"
     print()
     print(report.format_table(rows, "Table 4: CNI vs other network interfaces"))

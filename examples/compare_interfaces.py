@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Compare the five network interfaces of the paper on latency, bandwidth
-and memory-bus occupancy — a miniature version of Figures 6 and 7.
+"""Compare the five network interfaces of the paper on latency and
+bandwidth — a miniature version of Figures 6 and 7, expressed as two
+declarative sweeps and executed by one (optionally parallel, optionally
+cached) runner.
 
 Run with::
 
-    python examples/compare_interfaces.py [--sizes 8 64 256] [--messages 40]
+    python examples/compare_interfaces.py [--sizes 8 64 256] [--jobs 4]
+                                          [--cache-dir .repro-cache]
 """
 
 import argparse
 
-from repro.experiments import bandwidth, round_trip_latency
+from repro.api import SweepRunner, bandwidth_sweep, latency_sweep
 from repro.experiments.macro import IO_BUS_DEVICES, MEMORY_BUS_DEVICES
 from repro.experiments.report import format_series_panel
 
@@ -19,37 +22,36 @@ def main() -> None:
     parser.add_argument("--sizes", type=int, nargs="+", default=[8, 64, 256])
     parser.add_argument("--messages", type=int, default=40)
     parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--cache-dir", default=None, help="optional on-disk result cache")
     args = parser.parse_args()
 
-    latency_panel = {}
-    bandwidth_panel = {}
-    for device in MEMORY_BUS_DEVICES:
-        latency_panel[device] = {
-            size: round_trip_latency(
-                device, "memory", size, iterations=args.iterations, warmup=8
-            ).round_trip_us
-            for size in args.sizes
-        }
-        bandwidth_panel[device] = {
-            size: bandwidth(device, "memory", size, messages=args.messages, warmup=10).bandwidth_mbps
-            for size in args.sizes
-        }
+    runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+
+    memory_configs = [(device, "memory") for device in MEMORY_BUS_DEVICES]
+    latency = runner.run(
+        latency_sweep(memory_configs, args.sizes, iterations=args.iterations, warmup=8)
+    )
+    bandwidth = runner.run(
+        bandwidth_sweep(memory_configs, args.sizes, messages=args.messages, warmup=10)
+    )
+    io_latency = runner.run(
+        latency_sweep([(device, "io") for device in IO_BUS_DEVICES],
+                      args.sizes, iterations=args.iterations, warmup=8)
+    )
+
+    latency_panel = latency.pivot(series="device", x="message_bytes", value="round_trip_us")
+    bandwidth_panel = bandwidth.pivot(series="device", x="message_bytes", value="bandwidth_mbps")
+    io_panel = io_latency.pivot(series="device", x="message_bytes", value="round_trip_us")
 
     print(format_series_panel(latency_panel, "Round-trip latency on the memory bus (us)", "device"))
     print(format_series_panel(bandwidth_panel, "Bandwidth on the memory bus (MB/s)", "device"))
-
-    io_panel = {
-        device: {
-            size: round_trip_latency(device, "io", size, iterations=args.iterations, warmup=8).round_trip_us
-            for size in args.sizes
-        }
-        for device in IO_BUS_DEVICES
-    }
     print(format_series_panel(io_panel, "Round-trip latency on the coherent I/O bus (us)", "device"))
 
-    ni2w = latency_panel["NI2w"][args.sizes[-1]]
-    best = min((series[args.sizes[-1]], name) for name, series in latency_panel.items())
-    print(f"Best device at {args.sizes[-1]} bytes: {best[1]} "
+    largest = args.sizes[-1]
+    ni2w = latency_panel["NI2w"][largest]
+    best = min((series[largest], name) for name, series in latency_panel.items())
+    print(f"Best device at {largest} bytes: {best[1]} "
           f"({ni2w / best[0] - 1:.0%} faster than NI2w)")
 
 

@@ -4,6 +4,10 @@ task pool in which idle nodes steal tasks from a master node with active
 messages, showing how to write your own workload against the messaging
 layer, run it on different NIs and read the statistics the simulator keeps.
 
+Machines are declared as :class:`repro.ExperimentSpec` configurations and
+built with :meth:`repro.Machine.from_spec`, so the same spec objects could
+drive the sweep runner for the built-in measurements.
+
 Run with::
 
     python examples/custom_protocol.py [--nodes 8] [--tasks 64]
@@ -11,11 +15,12 @@ Run with::
 
 import argparse
 
-from repro import Machine
+from repro import ExperimentSpec, Machine
 
 
 def run_work_stealing(ni_name: str, nodes: int, tasks: int, task_cycles: int = 4000) -> dict:
-    machine = Machine.build(ni_name, "memory", num_nodes=nodes)
+    spec = ExperimentSpec(device=ni_name, bus="memory", num_nodes=nodes)
+    machine = Machine.from_spec(spec)
     master_ml = machine.messaging[0]
 
     pool = list(range(tasks))

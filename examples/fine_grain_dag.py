@@ -1,46 +1,52 @@
 #!/usr/bin/env python
 """Run the spsolve fine-grain DAG workload (the paper's most communication-
 intensive macrobenchmark) on a 16-node machine and compare a conventional
-NI against a coherent NI — a one-workload slice of Figure 8a.
+NI against a coherent NI — a one-workload slice of Figure 8a, expressed as
+one declarative macro sweep.
 
 Run with::
 
-    python examples/fine_grain_dag.py [--nodes 16] [--elements 768]
+    python examples/fine_grain_dag.py [--nodes 16] [--elements 768] [--jobs 4]
 """
 
 import argparse
 
-from repro import Machine
-from repro.apps import SpsolveWorkload
+from repro.api import SweepRunner, macro_sweep
 
-
-def run_once(ni_name: str, bus: str, nodes: int, elements: int):
-    machine = Machine.build(ni_name, bus, num_nodes=nodes)
-    workload = SpsolveWorkload(num_elements=elements)
-    result = workload.run(machine)
-    return machine, result
+CONFIGS = [("NI2w", "memory"), ("CNI4", "memory"), ("CNI512Q", "memory"),
+           ("CNI16Qm", "memory"), ("NI2w", "cache")]
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--nodes", type=int, default=16)
     parser.add_argument("--elements", type=int, default=768)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
     args = parser.parse_args()
+
+    sweep = macro_sweep(
+        ["spsolve"],
+        CONFIGS,
+        num_nodes=args.nodes,
+        scale=1.0,
+        workload_kwargs={"spsolve": {"num_elements": args.elements}},
+    )
+    results = SweepRunner(jobs=args.jobs).run(sweep)
 
     print(f"spsolve skeleton: {args.elements}-element DAG on {args.nodes} nodes")
     print(f"{'device':<10} {'bus':<7} {'cycles':>12} {'net msgs':>9} {'mem-bus occupancy':>18}")
 
     baseline = None
-    for ni_name, bus in [("NI2w", "memory"), ("CNI4", "memory"), ("CNI512Q", "memory"),
-                         ("CNI16Qm", "memory"), ("NI2w", "cache")]:
-        machine, result = run_once(ni_name, bus, args.nodes, args.elements)
-        occupancy = machine.total_memory_bus_occupancy()
+    for result in results:
+        cycles = result.metrics["cycles"]
+        occupancy = result.metrics["memory_bus_occupancy"]
         if baseline is None:
-            baseline = (result.cycles, occupancy)
-        speedup = baseline[0] / result.cycles
+            baseline = (cycles, occupancy)
+        speedup = baseline[0] / cycles
         occ_saving = 1 - occupancy / baseline[1] if baseline[1] else 0.0
-        print(f"{ni_name:<10} {bus:<7} {result.cycles:>12,} {result.network_messages:>9,} "
-              f"{occupancy:>14,} cy   speedup {speedup:4.2f}  bus saving {occ_saving:5.1%}")
+        print(f"{result.spec.device:<10} {result.spec.bus:<7} {int(cycles):>12,} "
+              f"{int(result.metrics['network_messages']):>9,} "
+              f"{int(occupancy):>14,} cy   speedup {speedup:4.2f}  bus saving {occ_saving:5.1%}")
 
     print("\nCoherent NIs cut both the run time and, especially, the memory-bus")
     print("occupancy of fine-grain active-message traffic (paper Section 5.2).")

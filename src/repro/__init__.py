@@ -13,16 +13,28 @@ The package is organised as:
 * :mod:`repro.msglayer` — Tempest-like active-message layer,
 * :mod:`repro.apps` — the five macrobenchmark communication skeletons,
 * :mod:`repro.experiments` — micro/macro benchmarks and figure/table
-  regeneration.
+  regeneration,
+* :mod:`repro.api` — the unified experiment layer: declarative
+  :class:`~repro.api.ExperimentSpec`/:class:`~repro.api.SweepSpec` sweeps,
+  a parallel, caching :class:`~repro.api.SweepRunner`, and structured
+  :class:`~repro.api.ResultSet` results.
 """
 
+from repro.api import (
+    ExperimentSpec,
+    ResultSet,
+    RunResult,
+    SweepRunner,
+    SweepSpec,
+    run_point,
+)
 from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
 from repro.node.machine import Machine
 from repro.node.node import NodeConfig
-from repro.ni.taxonomy import EVALUATED_DEVICES, parse_ni_name
+from repro.ni.taxonomy import EVALUATED_DEVICES, available_devices, parse_ni_name
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineParams",
@@ -32,5 +44,12 @@ __all__ = [
     "NodeConfig",
     "EVALUATED_DEVICES",
     "parse_ni_name",
+    "available_devices",
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepRunner",
+    "RunResult",
+    "ResultSet",
+    "run_point",
     "__version__",
 ]

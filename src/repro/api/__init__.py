@@ -1,0 +1,53 @@
+"""Unified experiment API: declarative sweeps, parallel execution, results.
+
+This package is the single front door to the simulator.  A point in the
+evaluation space is an :class:`ExperimentSpec`; a family of points is a
+:class:`SweepSpec` (full cartesian product or an explicit point list); a
+:class:`SweepRunner` executes points serially or with ``multiprocessing``
+workers, memoising every point in an on-disk JSON cache keyed by the spec
+hash; results come back as a :class:`ResultSet` of :class:`RunResult`
+records that can be filtered, pivoted into figure panels, and serialised
+with ``to_json``/``from_json``.
+
+Typical use::
+
+    from repro.api import ExperimentSpec, SweepSpec, SweepRunner
+
+    sweep = SweepSpec.cartesian(
+        ExperimentSpec(kind="latency", iterations=10),
+        device=("NI2w", "CNI512Q"),
+        message_bytes=(8, 64, 256),
+    )
+    results = SweepRunner(jobs=4, cache_dir=".repro-cache").run(sweep)
+    panel = results.pivot(series="device", x="message_bytes")
+"""
+
+from repro.api.cache import ResultCache
+from repro.api.presets import (
+    bandwidth_sweep,
+    latency_sweep,
+    macro_sweep,
+    occupancy_reductions,
+    paper_tables,
+    speedups,
+)
+from repro.api.results import ResultSet, RunResult
+from repro.api.runner import SweepRunner, run_point
+from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepSpec",
+    "SpecError",
+    "RunResult",
+    "ResultSet",
+    "ResultCache",
+    "SweepRunner",
+    "run_point",
+    "latency_sweep",
+    "bandwidth_sweep",
+    "macro_sweep",
+    "speedups",
+    "occupancy_reductions",
+    "paper_tables",
+]

@@ -1,0 +1,107 @@
+"""On-disk JSON result cache keyed by experiment-spec hash.
+
+Each cached point is one small JSON file ``<kind>-<hash>.json`` under the
+cache directory, so repeated figure regeneration skips the simulation
+entirely.  Corrupt or stale-schema entries are treated as misses and
+rewritten; the cache is safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.api.results import RunResult
+from repro.api.spec import ExperimentSpec
+
+#: Default cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _repro_version() -> str:
+    """The simulator version entries are stamped with (lazy import: the
+    top-level package imports this module)."""
+    from repro import __version__
+
+    return __version__
+
+
+class ResultCache:
+    """A directory of memoised :class:`RunResult` records."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: ExperimentSpec) -> str:
+        return os.path.join(self.directory, f"{spec.kind}-{spec.spec_hash()}.json")
+
+    def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = RunResult.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Unreadable, or parseable JSON of the wrong shape: a miss.
+            self.misses += 1
+            return None
+        if payload.get("repro_version") != _repro_version():
+            # Computed by a different simulator revision: the spec may hash
+            # the same, but the numbers could be stale.  Treat as a miss so
+            # the point is re-simulated and the entry rewritten.
+            self.misses += 1
+            return None
+        if result.spec.spec_hash() != spec.spec_hash():
+            # Hash collision in the filename or a hand-edited entry.
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        return result
+
+    def put(self, result: RunResult) -> str:
+        """Persist ``result``; returns the file path written."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(result.spec)
+        payload = result.to_dict()
+        payload["repro_version"] = _repro_version()
+        # Write-rename so a crashed run never leaves a torn JSON file.
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number deleted."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return f"<ResultCache {self.directory!r} hits={self.hits} misses={self.misses}>"

@@ -1,0 +1,163 @@
+"""Canonical sweeps for the paper's evaluation, expressed as specs.
+
+These builders turn the device/bus/size axes of Figures 6–8 into
+:class:`~repro.api.spec.SweepSpec` point lists, and provide the derived
+views (speedups over the NI2w/memory baseline, bus-occupancy reductions)
+computed from a :class:`~repro.api.results.ResultSet`.  Both the
+``repro.experiments`` figure generators and the benchmark suite build on
+them, so "a new experiment" is a new spec list — not a new script.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.results import ResultSet
+from repro.api.spec import ExperimentSpec, SweepSpec
+
+#: The NI2w-on-the-memory-bus configuration every speedup is relative to.
+BASELINE_CONFIG: Tuple[str, str] = ("NI2w", "memory")
+
+
+def latency_sweep(
+    configs: Sequence[Tuple[str, str]],
+    sizes: Sequence[int],
+    iterations: int = 30,
+    warmup: Optional[int] = None,
+    snarfing: bool = False,
+    name: str = "latency",
+) -> SweepSpec:
+    """Figure-6-style sweep: round-trip latency over (device, bus) × size."""
+    points = [
+        ExperimentSpec(
+            kind="latency",
+            device=device,
+            bus=bus,
+            message_bytes=size,
+            iterations=iterations,
+            warmup=warmup,
+            snarfing=snarfing,
+        )
+        for device, bus in configs
+        for size in sizes
+    ]
+    return SweepSpec.explicit(points, name=name)
+
+
+def bandwidth_sweep(
+    configs: Sequence[Tuple[str, str]],
+    sizes: Sequence[int],
+    messages: int = 100,
+    warmup: Optional[int] = None,
+    snarfing: bool = False,
+    name: str = "bandwidth",
+) -> SweepSpec:
+    """Figure-7-style sweep: streaming bandwidth over (device, bus) × size."""
+    points = [
+        ExperimentSpec(
+            kind="bandwidth",
+            device=device,
+            bus=bus,
+            message_bytes=size,
+            messages=messages,
+            warmup=warmup,
+            snarfing=snarfing,
+        )
+        for device, bus in configs
+        for size in sizes
+    ]
+    return SweepSpec.explicit(points, name=name)
+
+
+def macro_sweep(
+    workloads: Sequence[str],
+    configs: Sequence[Tuple[str, str]],
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    include_baseline: bool = True,
+    name: str = "macro",
+) -> SweepSpec:
+    """Figure-8-style sweep: workloads × (device, bus) macrobenchmark runs.
+
+    ``workload_kwargs`` maps workload name to that workload's constructor
+    overrides.  When ``include_baseline`` is set, the NI2w/memory baseline
+    is prepended per workload (deduplicated by the runner if it already
+    appears among ``configs``).
+    """
+    per_workload = dict(workload_kwargs or {})
+    points: List[ExperimentSpec] = []
+    for workload in workloads:
+        kwargs = dict(per_workload.get(workload, {}))
+        all_configs = list(configs)
+        if include_baseline and BASELINE_CONFIG not in all_configs:
+            all_configs = [BASELINE_CONFIG] + all_configs
+        for device, bus in all_configs:
+            points.append(
+                ExperimentSpec(
+                    kind="macro",
+                    device=device,
+                    bus=bus,
+                    num_nodes=num_nodes,
+                    workload=workload,
+                    scale=scale,
+                    workload_kwargs=kwargs,
+                )
+            )
+    return SweepSpec.explicit(points, name=name)
+
+
+def speedups(
+    results: ResultSet,
+    workload: str,
+    baseline: Tuple[str, str] = BASELINE_CONFIG,
+) -> Dict[str, float]:
+    """Per-config speedup over the baseline for one workload.
+
+    Returns ``{"<device>@<bus>": speedup}`` from the macro results present
+    in ``results``; raises ``KeyError`` if the baseline run is missing.
+    """
+    runs = results.filter(kind="macro", workload=workload)
+    base_key = f"{baseline[0]}@{baseline[1]}"
+    by_config = {r.spec.config: r.metrics["cycles"] for r in runs}
+    if base_key not in by_config:
+        raise KeyError(f"baseline run {base_key} missing for workload {workload!r}")
+    base_cycles = by_config[base_key]
+    return {
+        config: (base_cycles / cycles if cycles > 0 else 0.0)
+        for config, cycles in by_config.items()
+    }
+
+
+def occupancy_reductions(
+    results: ResultSet,
+    workload: str,
+    baseline: Tuple[str, str] = BASELINE_CONFIG,
+    metric: str = "memory_bus_occupancy",
+) -> Dict[str, float]:
+    """Fractional bus-occupancy reduction vs the baseline, per device.
+
+    Only configurations on the baseline's bus are compared (occupancy on a
+    different bus is not an apples-to-apples reduction).
+    """
+    runs = results.filter(kind="macro", workload=workload, bus=baseline[1])
+    by_device = {r.spec.device: r.metrics[metric] for r in runs}
+    if baseline[0] not in by_device:
+        raise KeyError(f"baseline run {baseline[0]}@{baseline[1]} missing for {workload!r}")
+    base = by_device[baseline[0]]
+    out: Dict[str, float] = {}
+    for device, occupancy in by_device.items():
+        out[device] = 0.0 if base <= 0 else 1.0 - occupancy / base
+    return out
+
+
+def paper_tables() -> Dict[str, List[Dict[str, object]]]:
+    """Tables 1–4 as structured rows, keyed ``"table1"`` … ``"table4"``."""
+    from repro.experiments import tables
+
+    return {
+        "table1": tables.table1_device_summary(),
+        "table2": tables.table2_bus_occupancy(),
+        "table3": tables.table3_macrobenchmarks(),
+        "table4": tables.table4_related_work(),
+    }

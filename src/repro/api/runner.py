@@ -1,0 +1,260 @@
+"""Execution engine for experiment specs: one point, or whole sweeps.
+
+:func:`run_point` maps an :class:`ExperimentSpec` onto the underlying
+simulator entry points (the Figure 6/7 microbenchmarks and the Figure 8
+macrobenchmark runner) and returns a :class:`RunResult`.
+
+:class:`SweepRunner` executes many points: it deduplicates repeated specs,
+consults the on-disk :class:`ResultCache`, fans the remaining points out to
+``multiprocessing`` workers when ``jobs > 1`` (each worker runs the same
+pure function, so serial and parallel execution give identical results),
+and reports progress through an optional callback.  Every result the
+runner produces is also appended to ``runner.history`` so a driver can
+serialise everything that was computed in a session.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.cache import ResultCache
+from repro.api.results import ResultSet, RunResult
+from repro.api.spec import ExperimentSpec, SweepSpec, as_points
+
+#: Progress callback signature: ``(completed, total, result)``.
+ProgressFn = Callable[[int, int, RunResult], None]
+
+
+def run_point(spec: ExperimentSpec) -> RunResult:
+    """Execute one experiment point and return its structured result.
+
+    This is a pure function of the (validated) spec: running the same spec
+    twice — in this process or another — yields identical metrics, which is
+    what makes both the result cache and parallel execution safe.
+    """
+    spec = spec.validate()
+    started = time.perf_counter()
+    if spec.kind == "latency":
+        metrics = _run_latency(spec)
+    elif spec.kind == "bandwidth":
+        metrics = _run_bandwidth(spec)
+    else:
+        metrics = _run_macro(spec)
+    return RunResult(spec=spec, metrics=metrics, elapsed_s=time.perf_counter() - started)
+
+
+def _machine_overrides(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Machine-shape kwargs shared by every engine entry point."""
+    out: Dict[str, Any] = {"ni_kwargs": dict(spec.ni_kwargs)}
+    if spec.params:
+        from repro.common.params import DEFAULT_PARAMS
+
+        out["params"] = DEFAULT_PARAMS.with_overrides(**spec.params)
+    if spec.max_cycles is not None:
+        out["max_cycles"] = spec.max_cycles
+    return out
+
+
+def _run_latency(spec: ExperimentSpec) -> Dict[str, float]:
+    from repro.experiments.microbench import round_trip_latency
+
+    result = round_trip_latency(
+        spec.device,
+        spec.bus,
+        spec.message_bytes,
+        iterations=spec.iterations,
+        warmup=spec.resolved_warmup(),
+        snarfing=spec.snarfing,
+        num_nodes=spec.num_nodes,
+        **_machine_overrides(spec),
+    )
+    return {
+        "round_trip_cycles": result.round_trip_cycles,
+        "round_trip_us": result.round_trip_us,
+        "one_way_us": result.one_way_us,
+        "iterations": float(result.iterations),
+    }
+
+
+def _run_bandwidth(spec: ExperimentSpec) -> Dict[str, float]:
+    from repro.experiments.microbench import bandwidth
+
+    result = bandwidth(
+        spec.device,
+        spec.bus,
+        spec.message_bytes,
+        messages=spec.messages,
+        warmup=spec.resolved_warmup(),
+        snarfing=spec.snarfing,
+        num_nodes=spec.num_nodes,
+        **_machine_overrides(spec),
+    )
+    return {
+        "total_cycles": float(result.total_cycles),
+        "bandwidth_mbps": result.bandwidth_mbps,
+        "relative_bandwidth": result.relative_bandwidth,
+        "max_bandwidth_mbps": result.max_bandwidth_mbps,
+        "messages": float(result.messages),
+    }
+
+
+def _run_macro(spec: ExperimentSpec) -> Dict[str, float]:
+    from repro.experiments.macro import run_macrobenchmark
+
+    workload_kwargs = dict(spec.workload_kwargs)
+    workload_kwargs.setdefault("seed", spec.resolved_seed())
+    overrides = _machine_overrides(spec)
+    overrides.setdefault("max_cycles", 2_000_000_000)
+    result = run_macrobenchmark(
+        spec.workload,
+        spec.device,
+        spec.bus,
+        num_nodes=spec.num_nodes,
+        scale=spec.scale,
+        snarfing=spec.snarfing,
+        workload_kwargs=workload_kwargs,
+        **overrides,
+    )
+    return {
+        "cycles": float(result.cycles),
+        "memory_bus_occupancy": float(result.memory_bus_occupancy),
+        "io_bus_occupancy": float(result.io_bus_occupancy),
+        "network_messages": float(result.network_messages),
+    }
+
+
+def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: dict in, dict out, so payloads pickle trivially."""
+    return run_point(ExperimentSpec.from_dict(payload)).to_dict()
+
+
+def _run_point_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+    """Indexed worker entry point for unordered parallel completion."""
+    index, payload = item
+    return index, _run_point_payload(payload)
+
+
+class SweepRunner:
+    """Runs sweeps of experiment points, serially or in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``1`` (the default) runs in-process.
+    cache_dir:
+        Directory for the on-disk result cache, or ``None`` to disable
+        caching.  A string is turned into a :class:`ResultCache`.
+    progress:
+        Optional ``(completed, total, result)`` callback, invoked once per
+        unique point as its result becomes available.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, ResultCache]] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if isinstance(cache_dir, ResultCache):
+            self.cache: Optional[ResultCache] = cache_dir
+        elif cache_dir is not None:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+        self.progress = progress
+        #: Every result produced through this runner, in completion order.
+        self.history = ResultSet()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, sweep: Union[SweepSpec, ExperimentSpec, Sequence[ExperimentSpec]]
+    ) -> ResultSet:
+        """Execute every point of ``sweep``; returns results in point order.
+
+        Duplicate points (same spec hash) are executed once and fanned back
+        out, so e.g. a Figure 8 sweep that names the NI2w/memory baseline in
+        several panels only simulates it once.
+        """
+        points = as_points(sweep)
+        order: List[str] = []
+        unique: Dict[str, ExperimentSpec] = {}
+        for spec in points:
+            key = spec.spec_hash()
+            order.append(key)
+            if key not in unique:
+                unique[key] = spec
+
+        # Memo levels: results already produced through this runner (e.g. a
+        # previous figure's sweep sharing points), then the on-disk cache.
+        known = self.history.by_hash() if len(self.history) else {}
+        resolved: Dict[str, RunResult] = {}
+        pending: List[ExperimentSpec] = []
+        for key, spec in unique.items():
+            hit = known.get(key)
+            if hit is None and self.cache is not None:
+                hit = self.cache.get(spec)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                pending.append(spec)
+
+        total = len(unique)
+        completed = 0
+        for result in resolved.values():
+            completed += 1
+            if self.progress is not None:
+                self.progress(completed, total, result)
+
+        if self.jobs > 1 and len(pending) > 1:
+            completions = self._run_parallel(pending)
+        else:
+            completions = ((spec, run_point(spec)) for spec in pending)
+        for spec, result in completions:
+            resolved[spec.spec_hash()] = result
+            if self.cache is not None:
+                self.cache.put(result)
+            completed += 1
+            if self.progress is not None:
+                self.progress(completed, total, result)
+
+        # History follows point order (not completion order) so the record
+        # of a sweep is identical whether points came from cache, workers
+        # or the local process.
+        for key in unique:
+            self._record(resolved[key])
+        return ResultSet([resolved[key] for key in order])
+
+    def run_one(self, spec: ExperimentSpec) -> RunResult:
+        """Run (or fetch from cache) a single point."""
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, pending: Sequence[ExperimentSpec]
+    ) -> Iterator[Tuple[ExperimentSpec, RunResult]]:
+        """Yield ``(spec, result)`` pairs as worker processes finish.
+
+        ``imap_unordered`` streams completions (so progress callbacks fire
+        per point, not after the whole batch); the caller re-keys results
+        by spec hash, so completion order does not matter.
+        """
+        payloads = [(index, spec.to_dict()) for index, spec in enumerate(pending)]
+        workers = min(self.jobs, len(payloads))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for index, data in pool.imap_unordered(_run_point_indexed, payloads):
+                yield pending[index], RunResult.from_dict(data)
+
+    def _record(self, result: RunResult) -> None:
+        self.history.append(result)
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self.cache.stats() if self.cache is not None else {"hits": 0, "misses": 0}
+
+    def __repr__(self) -> str:
+        cache = self.cache.directory if self.cache is not None else None
+        return f"<SweepRunner jobs={self.jobs} cache={cache!r} history={len(self.history)}>"

@@ -1,5 +1,12 @@
-"""Experiment harness: microbenchmarks, macro runs, tables and figures."""
+"""Experiment harness: microbenchmarks, macro runs, tables and figures.
 
+New code should prefer the declarative layer in :mod:`repro.api`
+(``ExperimentSpec`` → ``SweepRunner`` → ``ResultSet``); the per-experiment
+entry points re-exported here remain the underlying engines and keep
+working as before.
+"""
+
+from repro.api import ExperimentSpec, ResultSet, RunResult, SweepRunner, SweepSpec
 from repro.experiments.macro import (
     ALTERNATE_BUS_CONFIGS,
     BASELINE,
@@ -21,6 +28,11 @@ from repro.experiments.microbench import (
 )
 
 __all__ = [
+    "ExperimentSpec",
+    "SweepSpec",
+    "SweepRunner",
+    "RunResult",
+    "ResultSet",
     "round_trip_latency",
     "bandwidth",
     "LatencyResult",

@@ -4,28 +4,52 @@ Each function returns plain nested dictionaries (device -> x -> y) so that
 benchmarks, tests and the command-line report can consume them uniformly.
 The series are deliberately small enough to run on a laptop; pass
 ``quick=True`` for an even smaller smoke-test sweep.
+
+All figures are generated through :mod:`repro.api`: the sweep is a list of
+:class:`~repro.api.ExperimentSpec` points and a shared
+:class:`~repro.api.SweepRunner` executes it — serially by default, with
+``jobs=N`` worker processes, and with an on-disk result cache when a
+``cache_dir`` is given — then the result set is pivoted into the panel
+layout the reports expect.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
+from repro.api.presets import (
+    bandwidth_sweep,
+    latency_sweep,
+    macro_sweep,
+    occupancy_reductions,
+    speedups,
+)
+from repro.api.runner import SweepRunner
 from repro.experiments.macro import (
     ALTERNATE_BUS_CONFIGS,
     IO_BUS_DEVICES,
     MEMORY_BUS_DEVICES,
-    bus_occupancy_reduction,
-    speedup_sweep,
 )
-from repro.experiments.microbench import (
-    FIG6_MESSAGE_SIZES,
-    FIG7_MESSAGE_SIZES,
-    bandwidth,
-    round_trip_latency,
-)
+from repro.experiments.microbench import FIG6_MESSAGE_SIZES, FIG7_MESSAGE_SIZES
 
 #: Workloads of Figure 8, in the paper's order.
 FIGURE8_WORKLOADS = ("spsolve", "gauss", "em3d", "moldyn", "appbt")
+
+#: The three panels of Figures 6/7/8, as (panel, (device, bus) configs).
+_PANEL_CONFIGS = {
+    "memory": tuple((device, "memory") for device in MEMORY_BUS_DEVICES),
+    "io": tuple((device, "io") for device in IO_BUS_DEVICES),
+    "alternate": tuple(ALTERNATE_BUS_CONFIGS),
+}
+
+
+def _series_key(panel: str, device: str, bus: str) -> str:
+    """Panel series label: bare device name except on the mixed-bus panel."""
+    return f"{device}@{bus}" if panel == "alternate" else device
+
+
+def _runner(runner: Optional[SweepRunner], jobs: int, cache_dir: Optional[str]) -> SweepRunner:
+    return runner if runner is not None else SweepRunner(jobs=jobs, cache_dir=cache_dir)
 
 
 # ----------------------------------------------------------------------
@@ -35,26 +59,22 @@ def figure6_latency(
     sizes: Sequence[int] = FIG6_MESSAGE_SIZES,
     iterations: int = 30,
     quick: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Round-trip latency (µs) for Figures 6a, 6b and 6c."""
     if quick:
         sizes = tuple(sizes)[:3]
         iterations = 8
-    panels: Dict[str, Dict[str, Dict[int, float]]] = {"memory": {}, "io": {}, "alternate": {}}
-    for device in MEMORY_BUS_DEVICES:
-        panels["memory"][device] = {
-            size: round_trip_latency(device, "memory", size, iterations=iterations).round_trip_us
-            for size in sizes
-        }
-    for device in IO_BUS_DEVICES:
-        panels["io"][device] = {
-            size: round_trip_latency(device, "io", size, iterations=iterations).round_trip_us
-            for size in sizes
-        }
-    for device, bus in (("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")):
-        panels["alternate"][f"{device}@{bus}"] = {
-            size: round_trip_latency(device, bus, size, iterations=iterations).round_trip_us
-            for size in sizes
+    run = _runner(runner, jobs, cache_dir)
+    panels: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for panel, configs in _PANEL_CONFIGS.items():
+        results = run.run(latency_sweep(configs, sizes, iterations=iterations, warmup=8))
+        pivoted = results.pivot(series="config", x="message_bytes", value="round_trip_us")
+        panels[panel] = {
+            _series_key(panel, device, bus): pivoted[f"{device}@{bus}"]
+            for device, bus in configs
         }
     return panels
 
@@ -66,32 +86,31 @@ def figure7_bandwidth(
     sizes: Sequence[int] = FIG7_MESSAGE_SIZES,
     messages: int = 100,
     quick: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Relative bandwidth (fraction of the 2-processor cache-to-cache
     maximum) for Figures 7a, 7b and 7c, including CNI16Qm with snarfing."""
     if quick:
         sizes = tuple(sizes)[:3]
         messages = 30
-    panels: Dict[str, Dict[str, Dict[int, float]]] = {"memory": {}, "io": {}, "alternate": {}}
-    for device in MEMORY_BUS_DEVICES:
-        panels["memory"][device] = {
-            size: bandwidth(device, "memory", size, messages=messages).relative_bandwidth
-            for size in sizes
+    run = _runner(runner, jobs, cache_dir)
+    panels: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for panel, configs in _PANEL_CONFIGS.items():
+        results = run.run(bandwidth_sweep(configs, sizes, messages=messages, warmup=16))
+        pivoted = results.pivot(series="config", x="message_bytes", value="relative_bandwidth")
+        panels[panel] = {
+            _series_key(panel, device, bus): pivoted[f"{device}@{bus}"]
+            for device, bus in configs
         }
-    panels["memory"]["CNI16Qm+snarf"] = {
-        size: bandwidth("CNI16Qm", "memory", size, messages=messages, snarfing=True).relative_bandwidth
-        for size in sizes
-    }
-    for device in IO_BUS_DEVICES:
-        panels["io"][device] = {
-            size: bandwidth(device, "io", size, messages=messages).relative_bandwidth
-            for size in sizes
-        }
-    for device, bus in (("NI2w", "cache"), ("CNI16Qm", "memory"), ("CNI512Q", "io")):
-        panels["alternate"][f"{device}@{bus}"] = {
-            size: bandwidth(device, bus, size, messages=messages).relative_bandwidth
-            for size in sizes
-        }
+    # Figure 7a's extra series: CNI16Qm with data snarfing enabled.
+    snarf = run.run(
+        bandwidth_sweep([("CNI16Qm", "memory")], sizes, messages=messages, warmup=16, snarfing=True)
+    )
+    panels["memory"]["CNI16Qm+snarf"] = snarf.pivot(
+        series="config", x="message_bytes", value="relative_bandwidth"
+    )["CNI16Qm@memory+snarf"]
     return panels
 
 
@@ -103,6 +122,10 @@ def figure8_macro(
     num_nodes: int = 16,
     scale: float = 1.0,
     quick: bool = False,
+    workload_kwargs: Optional[Dict[str, Dict]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Speedup over NI2w/memory for Figures 8a (memory bus), 8b (I/O bus)
     and 8c (alternate buses)."""
@@ -110,33 +133,30 @@ def figure8_macro(
         num_nodes = min(num_nodes, 8)
         scale = min(scale, 0.25)
         workloads = tuple(workloads)[:2]
-    panels: Dict[str, Dict[str, Dict[str, float]]] = {"memory": {}, "io": {}, "alternate": {}}
+    run = _runner(runner, jobs, cache_dir)
+    all_configs = []
+    for configs in _PANEL_CONFIGS.values():
+        all_configs.extend(configs)
+    # One flat sweep; the runner deduplicates the shared baseline and any
+    # config that appears on several panels.
+    results = run.run(
+        macro_sweep(
+            workloads,
+            all_configs,
+            num_nodes=num_nodes,
+            scale=scale,
+            workload_kwargs=workload_kwargs,
+        )
+    )
+    panels: Dict[str, Dict[str, Dict[str, float]]] = {panel: {} for panel in _PANEL_CONFIGS}
     for workload in workloads:
-        memory_sweep = speedup_sweep(
-            workload,
-            [(device, "memory") for device in MEMORY_BUS_DEVICES],
-            num_nodes=num_nodes,
-            scale=scale,
-        )
-        io_sweep = speedup_sweep(
-            workload,
-            [(device, "io") for device in IO_BUS_DEVICES],
-            num_nodes=num_nodes,
-            scale=scale,
-        )
-        alt_sweep = speedup_sweep(
-            workload,
-            list(ALTERNATE_BUS_CONFIGS),
-            num_nodes=num_nodes,
-            scale=scale,
-        )
-        panels["memory"][workload] = {
-            key: value["speedup"] for key, value in memory_sweep.items()
-        }
-        panels["io"][workload] = {key: value["speedup"] for key, value in io_sweep.items()}
-        panels["alternate"][workload] = {
-            key: value["speedup"] for key, value in alt_sweep.items()
-        }
+        per_config = speedups(results, workload)
+        for panel, configs in _PANEL_CONFIGS.items():
+            # Baseline first, as in the paper's panels.
+            row = {"NI2w@memory": per_config["NI2w@memory"]}
+            for device, bus in configs:
+                row[f"{device}@{bus}"] = per_config[f"{device}@{bus}"]
+            panels[panel][workload] = row
     return panels
 
 
@@ -148,13 +168,24 @@ def occupancy_reduction(
     num_nodes: int = 16,
     scale: float = 1.0,
     quick: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fractional memory-bus occupancy reduction vs NI2w per device."""
     if quick:
         num_nodes = min(num_nodes, 8)
         scale = min(scale, 0.25)
         workloads = tuple(workloads)[:2]
+    run = _runner(runner, jobs, cache_dir)
+    results = run.run(
+        macro_sweep(
+            workloads,
+            _PANEL_CONFIGS["memory"],
+            num_nodes=num_nodes,
+            scale=scale,
+        )
+    )
     return {
-        workload: bus_occupancy_reduction(workload, num_nodes=num_nodes, scale=scale)
-        for workload in workloads
+        workload: occupancy_reductions(results, workload) for workload in workloads
     }

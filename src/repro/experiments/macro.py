@@ -53,9 +53,14 @@ def run_macrobenchmark(
     snarfing: bool = False,
     max_cycles: Optional[int] = 2_000_000_000,
     workload_kwargs: Optional[Dict] = None,
+    params=None,
+    ni_kwargs: Optional[Dict] = None,
 ) -> MacroRunResult:
     """Run one macrobenchmark skeleton on one machine configuration."""
-    machine = Machine.build(ni_name, bus, num_nodes=num_nodes, snarfing=snarfing)
+    machine = Machine.build(
+        ni_name, bus, num_nodes=num_nodes, snarfing=snarfing,
+        params=params, ni_kwargs=ni_kwargs,
+    )
     workload = create_workload(workload_name, scale=scale, **(workload_kwargs or {}))
     result: WorkloadResult = workload.run(machine, max_cycles=max_cycles)
     return MacroRunResult(

@@ -76,9 +76,19 @@ class BandwidthResult:
         return self.bandwidth_mbps / self.max_bandwidth_mbps
 
 
-def _build_pair(ni_name: str, bus: Union[str, BusKind], snarfing: bool) -> Machine:
-    """A two-node machine (sender node 0, receiver node 1)."""
-    return Machine.build(ni_name, bus, num_nodes=2, snarfing=snarfing)
+def _build_pair(
+    ni_name: str,
+    bus: Union[str, BusKind],
+    snarfing: bool,
+    num_nodes: int = 2,
+    params=None,
+    ni_kwargs: Optional[Dict] = None,
+) -> Machine:
+    """A machine with at least a sender (node 0) and receiver (node 1)."""
+    return Machine.build(
+        ni_name, bus, num_nodes=num_nodes, snarfing=snarfing,
+        params=params, ni_kwargs=ni_kwargs,
+    )
 
 
 def round_trip_latency(
@@ -89,12 +99,15 @@ def round_trip_latency(
     warmup: int = 8,
     snarfing: bool = False,
     max_cycles: int = 400_000_000,
+    num_nodes: int = 2,
+    params=None,
+    ni_kwargs: Optional[Dict] = None,
 ) -> LatencyResult:
     """Steady-state process-to-process round-trip latency (Figure 6)."""
     if iterations < 1:
         raise MicrobenchmarkError("need at least one measured iteration")
-    machine = _build_pair(ni_name, bus, snarfing)
-    ml0, ml1 = machine.messaging
+    machine = _build_pair(ni_name, bus, snarfing, num_nodes, params, ni_kwargs)
+    ml0, ml1 = machine.messaging[0], machine.messaging[1]
     total_rounds = warmup + iterations
 
     pongs = {"count": 0}
@@ -125,7 +138,7 @@ def round_trip_latency(
             if not got:
                 yield Delay(_POLL_BACKOFF)
 
-    machine.run_programs([sender(), responder()], max_cycles=max_cycles)
+    machine.run_programs({0: sender(), 1: responder()}, max_cycles=max_cycles)
     if len(samples) != iterations:
         raise MicrobenchmarkError(
             f"expected {iterations} samples, collected {len(samples)}"
@@ -154,6 +167,9 @@ def bandwidth(
     warmup: int = 16,
     snarfing: bool = False,
     max_cycles: int = 800_000_000,
+    num_nodes: int = 2,
+    params=None,
+    ni_kwargs: Optional[Dict] = None,
 ) -> BandwidthResult:
     """Steady-state process-to-process bandwidth (Figure 7).
 
@@ -163,8 +179,8 @@ def bandwidth(
     """
     if messages < 1:
         raise MicrobenchmarkError("need at least one measured message")
-    machine = _build_pair(ni_name, bus, snarfing)
-    ml0, ml1 = machine.messaging
+    machine = _build_pair(ni_name, bus, snarfing, num_nodes, params, ni_kwargs)
+    ml0, ml1 = machine.messaging[0], machine.messaging[1]
     total = warmup + messages
 
     received = {"count": 0, "start": None, "end": None}
@@ -194,7 +210,7 @@ def bandwidth(
             if not got:
                 yield Delay(_POLL_BACKOFF)
 
-    machine.run_programs([sender(), receiver()], max_cycles=max_cycles)
+    machine.run_programs({0: sender(), 1: receiver()}, max_cycles=max_cycles)
     if received["end"] is None or "start" not in marks:
         raise MicrobenchmarkError("bandwidth run did not complete")
     elapsed = received["end"] - marks["start"]

@@ -3,21 +3,31 @@
 Usage::
 
     python -m repro.experiments.run tables
-    python -m repro.experiments.run fig6 [--quick]
-    python -m repro.experiments.run fig7 [--quick]
+    python -m repro.experiments.run fig6 [--quick] [--jobs 4]
+    python -m repro.experiments.run fig7 [--quick] [--jobs 4]
     python -m repro.experiments.run fig8 [--quick] [--scale 0.5] [--nodes 16]
     python -m repro.experiments.run occupancy [--quick]
-    python -m repro.experiments.run all [--quick]
+    python -m repro.experiments.run all [--quick] [--json results.json]
+
+Every experiment goes through :mod:`repro.api`: ``--jobs N`` fans the sweep
+out over N worker processes, ``--cache-dir`` (default ``.repro-cache``)
+memoises every simulated point on disk so re-running a figure is
+near-instant, ``--no-cache`` disables that, and ``--json PATH`` writes the
+full structured :class:`~repro.api.ResultSet` (plus table rows, when tables
+were regenerated) to ``PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
-from repro.experiments import figures, report, tables
+from repro.api import SweepRunner, paper_tables
+from repro.api.cache import DEFAULT_CACHE_DIR
+from repro.experiments import figures, report
 
 
 def _print(text: str) -> None:
@@ -25,19 +35,24 @@ def _print(text: str) -> None:
     sys.stdout.flush()
 
 
-def run_tables() -> None:
-    _print(report.format_table(tables.table1_device_summary(), "Table 1: Network interface devices"))
-    _print("\n")
-    _print(report.format_table(tables.table2_bus_occupancy(), "Table 2: Bus occupancy (processor cycles)"))
-    _print("\n")
-    _print(report.format_table(tables.table3_macrobenchmarks(), "Table 3: Macrobenchmarks"))
-    _print("\n")
-    _print(report.format_table(tables.table4_related_work(), "Table 4: CNI vs other network interfaces"))
-    _print("\n")
+_TABLE_TITLES = {
+    "table1": "Table 1: Network interface devices",
+    "table2": "Table 2: Bus occupancy (processor cycles)",
+    "table3": "Table 3: Macrobenchmarks",
+    "table4": "Table 4: CNI vs other network interfaces",
+}
 
 
-def run_fig6(quick: bool) -> None:
-    series = figures.figure6_latency(quick=quick)
+def run_tables() -> dict:
+    rows = paper_tables()
+    for key in sorted(_TABLE_TITLES):
+        _print(report.format_table(rows[key], _TABLE_TITLES[key]))
+        _print("\n")
+    return rows
+
+
+def run_fig6(quick: bool, runner: SweepRunner) -> None:
+    series = figures.figure6_latency(quick=quick, runner=runner)
     _print(
         report.format_figure(
             series,
@@ -47,8 +62,8 @@ def run_fig6(quick: bool) -> None:
     )
 
 
-def run_fig7(quick: bool) -> None:
-    series = figures.figure7_bandwidth(quick=quick)
+def run_fig7(quick: bool, runner: SweepRunner) -> None:
+    series = figures.figure7_bandwidth(quick=quick, runner=runner)
     _print(
         report.format_figure(
             series,
@@ -58,19 +73,26 @@ def run_fig7(quick: bool) -> None:
     )
 
 
-def run_fig8(quick: bool, scale: float, nodes: int) -> None:
-    series = figures.figure8_macro(quick=quick, scale=scale, num_nodes=nodes)
+def run_fig8(quick: bool, scale: float, nodes: int, runner: SweepRunner) -> None:
+    series = figures.figure8_macro(quick=quick, scale=scale, num_nodes=nodes, runner=runner)
     _print(report.format_speedups(series, "Figure 8: macrobenchmark speedup over NI2w on the memory bus"))
 
 
-def run_occupancy(quick: bool, scale: float, nodes: int) -> None:
-    series = figures.occupancy_reduction(quick=quick, scale=scale, num_nodes=nodes)
+def run_occupancy(quick: bool, scale: float, nodes: int, runner: SweepRunner) -> None:
+    series = figures.occupancy_reduction(quick=quick, scale=scale, num_nodes=nodes, runner=runner)
     rows = []
     for workload, values in series.items():
         row = {"workload": workload}
         row.update({device: f"{value:.1%}" for device, value in values.items()})
         rows.append(row)
     _print(report.format_table(rows, "Memory-bus occupancy reduction vs NI2w (Section 5.2)"))
+
+
+def _progress(completed: int, total: int, result) -> None:
+    sys.stderr.write(f"\r  [{completed}/{total}] {result.spec.describe():<60}")
+    if completed == total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -83,20 +105,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--quick", action="store_true", help="smaller, faster sweep")
     parser.add_argument("--scale", type=float, default=1.0, help="macrobenchmark problem scale")
     parser.add_argument("--nodes", type=int, default=16, help="number of nodes for macrobenchmarks")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes for sweep execution")
+    parser.add_argument("--json", metavar="PATH", help="write structured results to PATH")
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk result cache")
+    parser.add_argument("--progress", action="store_true", help="report per-point progress on stderr")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=_progress if args.progress else None,
+    )
 
     start = time.time()
+    table_rows = None
     if args.experiment in ("tables", "all"):
-        run_tables()
+        table_rows = run_tables()
     if args.experiment in ("fig6", "all"):
-        run_fig6(args.quick)
+        run_fig6(args.quick, runner)
     if args.experiment in ("fig7", "all"):
-        run_fig7(args.quick)
+        run_fig7(args.quick, runner)
     if args.experiment in ("fig8", "all"):
-        run_fig8(args.quick, args.scale, args.nodes)
+        run_fig8(args.quick, args.scale, args.nodes, runner)
     if args.experiment in ("occupancy", "all"):
-        run_occupancy(args.quick, args.scale, args.nodes)
-    _print(f"\n(done in {time.time() - start:.1f}s)\n")
+        run_occupancy(args.quick, args.scale, args.nodes, runner)
+    elapsed = time.time() - start
+
+    if args.json:
+        payload = runner.history.to_dict()
+        payload["experiment"] = args.experiment
+        payload["elapsed_s"] = elapsed
+        payload["cache"] = runner.cache_stats()
+        if table_rows is not None:
+            payload["tables"] = table_rows
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+        _print(f"(wrote {len(runner.history)} results to {args.json})\n")
+
+    _print(f"\n(done in {elapsed:.1f}s)\n")
     return 0
 
 

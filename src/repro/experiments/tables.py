@@ -13,27 +13,26 @@ from typing import Dict, List
 from repro.apps import MACROBENCHMARKS
 from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
-from repro.ni.taxonomy import EVALUATED_DEVICES, parse_ni_name
+from repro.ni.taxonomy import EVALUATED_DEVICES, available_devices
 
 
 def table1_device_summary() -> List[Dict[str, str]]:
-    """Table 1: summary of the five evaluated network interface devices."""
+    """Table 1: summary of the five evaluated network interface devices.
+
+    Derived from the device registry's parsed metadata, so the table stays
+    truthful to what :func:`repro.ni.taxonomy.create_ni` actually builds.
+    """
+    metadata = {info.name: info for info in available_devices()}
     rows = []
-    details = {
-        "NI2w": {"exposed": "2 words", "pointers": "-", "home": "device"},
-        "CNI4": {"exposed": "4 cache blocks", "pointers": "-", "home": "device"},
-        "CNI16Q": {"exposed": "16 cache blocks", "pointers": "explicit", "home": "device"},
-        "CNI512Q": {"exposed": "512 cache blocks", "pointers": "explicit", "home": "device"},
-        "CNI16Qm": {"exposed": "16 cache blocks", "pointers": "explicit", "home": "main memory"},
-    }
     for name in EVALUATED_DEVICES:
-        spec = parse_ni_name(name)
+        spec = metadata[name].spec
+        unit = "cache blocks" if spec.unit == "blocks" else "words"
         rows.append(
             {
                 "device": name,
-                "exposed_queue_size": details[name]["exposed"],
-                "queue_pointers": details[name]["pointers"],
-                "home": details[name]["home"],
+                "exposed_queue_size": f"{spec.exposed_size} {unit}",
+                "queue_pointers": "explicit" if spec.queue else "-",
+                "home": "main memory" if spec.home == "memory" else "device",
                 "coherent": "yes" if spec.coherent else "no",
             }
         )

@@ -7,14 +7,17 @@ from repro.ni.cq import CachableQueue, QueueError, SenseReverseQueue, sense_for_
 from repro.ni.ni2w import NI2w
 from repro.ni.taxonomy import (
     EVALUATED_DEVICES,
+    DeviceInfo,
     NISpec,
     TaxonomyError,
+    available_device_names,
     available_devices,
     classify_existing_machines,
     create_ni,
     device_class,
     parse_ni_name,
     register_device,
+    validate_ni_kwargs,
 )
 
 __all__ = [
@@ -39,6 +42,9 @@ __all__ = [
     "device_class",
     "register_device",
     "available_devices",
+    "available_device_names",
+    "validate_ni_kwargs",
+    "DeviceInfo",
     "classify_existing_machines",
     "EVALUATED_DEVICES",
 ]

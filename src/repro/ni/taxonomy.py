@@ -17,9 +17,10 @@ Examples from the paper: the CM-5 NI is ``NI2w``, Alewife is ``NI16w``,
 
 from __future__ import annotations
 
+import inspect
 import re
 from dataclasses import dataclass
-from typing import Dict, Optional, Type
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Type
 
 from repro.ni.base import AbstractNI
 from repro.ni.cni4 import CNI4
@@ -112,10 +113,111 @@ def register_device(name: str, cls: Type[AbstractNI]) -> None:
     if not issubclass(cls, AbstractNI):
         raise TaxonomyError(f"{cls!r} is not an AbstractNI subclass")
     _DEVICE_CLASSES[name] = cls
+    _ALLOWED_KWARGS_CACHE.pop(cls, None)
 
 
-def available_devices() -> tuple:
+@dataclass(frozen=True)
+class DeviceInfo:
+    """Metadata for one registered device."""
+
+    name: str
+    cls_name: str
+    spec: Optional[NISpec]    # parsed taxonomy form, None if unparseable
+    tunables: Tuple[str, ...]  # constructor kwargs accepted via ni_kwargs
+
+    def describe(self) -> str:
+        if self.spec is not None:
+            return self.spec.describe()
+        return f"{self.name}: custom device ({self.cls_name})"
+
+
+def available_devices() -> Tuple[DeviceInfo, ...]:
+    """Metadata for every registered device, sorted by taxonomy name.
+
+    Each entry carries the parsed :class:`NISpec` (when the registered name
+    follows the taxonomy grammar) and the constructor keywords the device
+    accepts through ``ni_kwargs``.
+    """
+    infos = []
+    for name in sorted(_DEVICE_CLASSES):
+        cls = _DEVICE_CLASSES[name]
+        try:
+            spec: Optional[NISpec] = parse_ni_name(name)
+        except TaxonomyError:
+            spec = None
+        infos.append(
+            DeviceInfo(
+                name=name,
+                cls_name=cls.__name__,
+                spec=spec,
+                tunables=tuple(sorted(_allowed_ni_kwargs(cls))),
+            )
+        )
+    return tuple(infos)
+
+
+def available_device_names() -> Tuple[str, ...]:
+    """Just the registered taxonomy names, sorted."""
     return tuple(sorted(_DEVICE_CLASSES))
+
+
+#: Constructor parameters supplied by :class:`repro.node.node.Node` itself;
+#: never acceptable through user-facing ``ni_kwargs``.
+_INFRA_PARAMS: FrozenSet[str] = frozenset(
+    {"self", "sim", "node_id", "params", "addrmap", "interconnect", "fabric",
+     "bus_kind", "dram_allocator"}
+)
+
+_ALLOWED_KWARGS_CACHE: Dict[type, FrozenSet[str]] = {}
+
+
+def _allowed_ni_kwargs(cls: type) -> FrozenSet[str]:
+    """Keyword names a device constructor accepts beyond the infra params.
+
+    Device ``__init__``\\ s are ``(*args, name=..., **kwargs)`` chains, so
+    the acceptable set is the union of explicitly named parameters across
+    the MRO, minus the infrastructure arguments the Node always passes.
+    """
+    cached = _ALLOWED_KWARGS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    allowed = set()
+    for klass in cls.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        try:
+            signature = inspect.signature(init)
+        except (TypeError, ValueError):
+            continue
+        for param in signature.parameters.values():
+            if param.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                allowed.add(param.name)
+    result = frozenset(allowed - _INFRA_PARAMS)
+    _ALLOWED_KWARGS_CACHE[cls] = result
+    return result
+
+
+def validate_ni_kwargs(name: str, ni_kwargs: Optional[Mapping] = None) -> None:
+    """Check that ``ni_kwargs`` are acceptable for device ``name``.
+
+    Raises :class:`TaxonomyError` for an unknown device or for keyword
+    arguments the device constructor does not accept — *before* a machine
+    gets assembled, instead of a ``TypeError`` deep in ``Node.__init__``.
+    """
+    cls = device_class(name)
+    if not ni_kwargs:
+        return
+    allowed = _allowed_ni_kwargs(cls)
+    unknown = sorted(set(ni_kwargs) - allowed)
+    if unknown:
+        raise TaxonomyError(
+            f"device {name!r} does not accept ni_kwargs {unknown}; "
+            f"supported: {sorted(allowed)}"
+        )
 
 
 def create_ni(name: str, *args, **kwargs) -> AbstractNI:

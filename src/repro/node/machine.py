@@ -76,13 +76,38 @@ class Machine:
     ) -> "Machine":
         """Build a homogeneous machine with the given NI on the given bus."""
         bus_kind = bus if isinstance(bus, BusKind) else BusKind(bus)
+        # Validate eagerly so unknown devices, illegal bus placements and
+        # unsupported ni_kwargs fail before any node is assembled.
         config = NodeConfig(
             ni_name=ni_name,
             ni_bus=bus_kind,
             snarfing=snarfing,
             ni_kwargs=dict(ni_kwargs or {}),
-        )
+        ).validate()
         return cls(params=params, node_config=config, num_nodes=num_nodes)
+
+    @classmethod
+    def from_spec(cls, spec) -> "Machine":
+        """Build the machine an :class:`repro.api.ExperimentSpec` describes.
+
+        This is the counterpart of :meth:`describe`: a declarative spec in,
+        a machine out.  Only the machine-shaped fields are consulted
+        (``device``, ``bus``, ``num_nodes``, ``snarfing``, ``ni_kwargs``
+        and the ``params`` overrides); measurement fields such as
+        ``message_bytes`` or ``workload`` are the runner's concern.
+        """
+        machine_params = DEFAULT_PARAMS
+        overrides = dict(getattr(spec, "params", {}) or {})
+        if overrides:
+            machine_params = machine_params.with_overrides(**overrides)
+        return cls.build(
+            spec.device,
+            spec.bus,
+            num_nodes=spec.num_nodes,
+            snarfing=spec.snarfing,
+            params=machine_params,
+            ni_kwargs=dict(getattr(spec, "ni_kwargs", {}) or {}),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -11,7 +11,7 @@ from repro.common.addrmap import AddressMap, RegionAllocator
 from repro.common.params import DRAM_BASE, DRAM_SIZE, MachineParams
 from repro.common.types import AddressRange, AgentKind, BusKind
 from repro.network.fabric import NetworkFabric
-from repro.ni.taxonomy import create_ni
+from repro.ni.taxonomy import create_ni, validate_ni_kwargs
 from repro.node.processor import Processor
 from repro.sim import Simulator
 
@@ -46,6 +46,9 @@ class NodeConfig:
                 "CNI16Qm cannot be implemented on current coherent I/O buses "
                 "(paper Section 2.3)"
             )
+        # Fail on unknown devices / unsupported device kwargs here, with a
+        # TaxonomyError, rather than as a TypeError deep in create_ni().
+        validate_ni_kwargs(self.ni_name, self.ni_kwargs)
         return self
 
 

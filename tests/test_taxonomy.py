@@ -14,6 +14,7 @@ from repro.ni import (
     device_class,
     parse_ni_name,
     register_device,
+    validate_ni_kwargs,
 )
 from repro.ni.base import AbstractNI
 from repro.ni.taxonomy import EVALUATED_DEVICES, _DEVICE_CLASSES
@@ -69,6 +70,21 @@ class TestParser:
         text = parse_ni_name("CNI16Qm").describe()
         assert "coherent" in text and "16" in text and "memory" in text
 
+    @pytest.mark.parametrize("name", EVALUATED_DEVICES)
+    def test_parse_describe_round_trip(self, name):
+        """parse_ni_name ↔ describe() round-trip for every evaluated device."""
+        spec = parse_ni_name(name)
+        # Re-parsing the spec's own name reproduces the spec exactly.
+        assert parse_ni_name(spec.name) == spec
+        text = spec.describe()
+        assert text.startswith(f"{spec.name}:")
+        assert str(spec.exposed_size) in text
+        assert f"home={spec.home}" in text
+        unit_word = "cache blocks" if spec.unit == "blocks" else "4-byte words"
+        assert unit_word in text
+        kind_word = "coherent" if spec.coherent else "uncached"
+        assert kind_word in text
+
 
 class TestFactory:
     def test_evaluated_devices_resolve_to_classes(self):
@@ -85,11 +101,43 @@ class TestFactory:
     def test_evaluated_device_list_matches_paper(self):
         assert EVALUATED_DEVICES == ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
 
-    def test_available_devices_sorted(self):
+    def test_available_devices_metadata_sorted(self):
         devices = available_devices()
-        assert list(devices) == sorted(devices)
+        names = [info.name for info in devices]
+        assert names == sorted(names)
         for name in EVALUATED_DEVICES:
-            assert name in devices
+            assert name in names
+
+    def test_available_devices_carry_parsed_specs_and_tunables(self):
+        by_name = {info.name: info for info in available_devices()}
+        for name in EVALUATED_DEVICES:
+            info = by_name[name]
+            assert info.spec is not None
+            assert info.spec == parse_ni_name(name)
+            assert info.tunables  # every evaluated device has constructor knobs
+            assert name in info.describe()
+        assert "send_queue_blocks" in by_name["CNI16Q"].tunables
+        assert "fifo_messages" in by_name["NI2w"].tunables
+
+    def test_available_device_names(self):
+        from repro.ni import available_device_names
+
+        names = available_device_names()
+        assert names == tuple(sorted(names))
+        assert set(EVALUATED_DEVICES) <= set(names)
+
+    def test_unparseable_registered_name_yields_none_spec(self):
+        class OddNI(NI2w):
+            taxonomy_name = "weird-device"
+
+        register_device("weird-device", OddNI)
+        try:
+            by_name = {info.name: info for info in available_devices()}
+            info = by_name["weird-device"]
+            assert info.spec is None
+            assert "custom" in info.describe()
+        finally:
+            _DEVICE_CLASSES.pop("weird-device", None)
 
     def test_register_custom_device(self):
         class MyNI(NI2w):
@@ -104,3 +152,26 @@ class TestFactory:
     def test_register_non_ni_class_rejected(self):
         with pytest.raises(TaxonomyError):
             register_device("bogus", int)
+
+
+class TestNiKwargsValidation:
+    def test_supported_kwargs_accepted(self):
+        validate_ni_kwargs("CNI16Q", {"send_queue_blocks": 32, "recv_queue_blocks": 32})
+        validate_ni_kwargs("NI2w", {"fifo_messages": 4})
+        validate_ni_kwargs("CNI4", None)
+        validate_ni_kwargs("CNI4", {})
+
+    def test_unknown_kwarg_rejected_with_supported_list(self):
+        with pytest.raises(TaxonomyError) as excinfo:
+            validate_ni_kwargs("CNI16Q", {"queue_blocks": 32})
+        message = str(excinfo.value)
+        assert "queue_blocks" in message and "send_queue_blocks" in message
+
+    def test_infrastructure_params_not_accepted_as_ni_kwargs(self):
+        for infra in ("sim", "node_id", "bus_kind", "dram_allocator"):
+            with pytest.raises(TaxonomyError):
+                validate_ni_kwargs("CNI512Q", {infra: None})
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(TaxonomyError):
+            validate_ni_kwargs("CNI9999", {})
