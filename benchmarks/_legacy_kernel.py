@@ -1,0 +1,302 @@
+"""The pre-overhaul simulation kernel, kept as a performance reference.
+
+This is a faithful copy of the engine/process layer as it existed before
+the kernel hot-path overhaul: one heap entry per event with Python-level
+``__lt__`` comparisons, a generator trampoline that re-enters a generic
+``_dispatch`` on every resumption, list-based resource wait queues and no
+event pooling or same-cycle lane.
+
+``bench_engine.py`` runs the same workloads against this kernel and the
+current one in the same process, so the reported speedup isolates the
+kernel (engine + process layer) from machine noise and from client-side
+changes.  Two small compatibility additions — and only these — were made so
+the reference kernel can drive the *current* clients:
+
+* ``Simulator.schedule_call``: forwards to the old ``schedule`` path
+  (clients now schedule through this entry point), and
+* ``Process._dispatch`` accepts a yielded :class:`Resource` (clients now
+  ``yield resource`` instead of ``yield Acquire(resource)``) and any
+  foreign Delay-like object exposing ``.cycles``.
+
+Neither addition changes the kernel's performance character.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import SimulationError
+
+
+class _ScheduledEvent:
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The pre-overhaul event loop: a single heap of slotted event objects."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._running = False
+        self.event_count = 0
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable, *args: Any) -> _ScheduledEvent:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + int(delay), next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_call(self, delay: int, callback: Callable, args: tuple = ()) -> None:
+        # Compatibility shim: the current clients schedule through this
+        # entry point; the legacy kernel maps it onto the plain heap path.
+        self.schedule(delay, callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable, *args: Any) -> _ScheduledEvent:
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time}, current time is {self._now}")
+        event = _ScheduledEvent(int(time), next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        event.cancelled = True
+
+    def peek(self) -> Optional[int]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+
+class Delay:
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise SimulationError(f"negative delay: {cycles}")
+        self.cycles = int(cycles)
+
+
+class Wait:
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal"):
+        self.signal = signal
+
+
+class Acquire:
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class Join:
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+
+class Signal:
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self._sim = sim
+        self.name = name
+        self._waiters: list = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def fire(self, payload: Any = None) -> None:
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0, process._resume, payload)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Resource:
+    def __init__(self, sim: Simulator, name: str = "resource", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._wait_queue: list = []
+        self.total_acquisitions = 0
+        self.busy_cycles = 0
+        self._last_acquire_time: Optional[int] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._wait_queue)
+
+    def _request(self, process: "Process") -> None:
+        if self._in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._wait_queue.append(process)
+
+    def _grant(self, process: "Process") -> None:
+        self._in_use += 1
+        self.total_acquisitions += 1
+        if self._in_use == 1:
+            self._last_acquire_time = self._sim.now
+        self._sim.schedule(0, process._resume, self)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._last_acquire_time is not None:
+            self.busy_cycles += self._sim.now - self._last_acquire_time
+            self._last_acquire_time = None
+        if self._wait_queue and self._in_use < self.capacity:
+            self._grant(self._wait_queue.pop(0))
+
+    def try_acquire_now(self) -> bool:
+        if self._in_use < self.capacity and not self._wait_queue:
+            self._in_use += 1
+            self.total_acquisitions += 1
+            if self._in_use == 1:
+                self._last_acquire_time = self._sim.now
+            return True
+        return False
+
+
+class Process:
+    """The pre-overhaul generator trampoline: every resumption goes through
+    the generic isinstance-chain ``_dispatch``."""
+
+    _ids = 0
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        Process._ids += 1
+        self.pid = Process._ids
+        self.name = name or f"process-{self.pid}"
+        self._sim = sim
+        self._gen = generator
+        self.finished = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._completion_waiters: list = []
+        self.started_at = sim.now
+        self.finished_at: Optional[int] = None
+        sim.schedule(0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.exception = exc
+            self._finish(None)
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self._sim.schedule(command.cycles, self._resume, None)
+        elif isinstance(command, (int, float)):
+            self._sim.schedule(int(command), self._resume, None)
+        elif isinstance(command, Wait):
+            command.signal._add_waiter(self)
+        elif isinstance(command, Acquire):
+            command.resource._request(self)
+        elif isinstance(command, Join):
+            target = command.process
+            if target.finished:
+                self._sim.schedule(0, self._resume, target.result)
+            else:
+                target._completion_waiters.append(self)
+        elif isinstance(command, Signal):
+            command._add_waiter(self)
+        elif isinstance(command, Resource):
+            # Compatibility: current clients yield the resource directly.
+            command._request(self)
+        elif hasattr(command, "cycles"):
+            # Compatibility: a Delay-like object from the current kernel.
+            self._sim.schedule(command.cycles, self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unsupported command: {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.finished_at = self._sim.now
+        waiters, self._completion_waiters = self._completion_waiters, []
+        for waiter in waiters:
+            self._sim.schedule(0, waiter._resume, result)
+
+
+def start_process(sim: Simulator, generator: Generator, name: str = "") -> Process:
+    return Process(sim, generator, name=name)

@@ -1,0 +1,278 @@
+"""Kernel microbenchmark: events/sec of the simulation engine.
+
+Two measurements, both against the pre-overhaul reference kernel preserved
+in ``_legacy_kernel.py`` and run *in the same process* so machine noise
+cancels out of the ratio:
+
+* a **synthetic stress** (delay / resource / same-cycle event mix modelled
+  on the macrobenchmarks' event profile) driving each kernel directly, and
+* the **Figure 8 macro workloads** running on the full machine, with the
+  reference kernel hot-swapped underneath the unchanged clients.
+
+As a CLI this doubles as the CI perf-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --check --budget 150000
+
+``--check`` exits non-zero if the current kernel's events/sec has regressed
+to worse than ``1/--max-regression`` (default 3x) of the reference kernel —
+a machine-independent floor, since both kernels run on the same box in the
+same process.
+
+The pytest entries track absolute kernel throughput through the
+``repro.api`` sweep layer (``kind="engine"`` points), alongside the paper
+figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from contextlib import contextmanager
+from time import perf_counter
+
+import _legacy_kernel
+
+from repro import api as _api  # noqa: F401  (ensures package import works)
+from repro.api import engine_sweep
+from repro.sim import Acquire, Delay, Resource, Signal, Simulator, start_process
+
+#: The fig8 macro mix used for kernel A/B timing (reduced machine, like
+#: bench_fig8_macro.py, so a full A/B round stays under ~10 s).
+FIG8_MIX = (
+    ("gauss", {"rounds": 8, "seed": 12345}),
+    ("moldyn", {"iterations": 1, "seed": 12345}),
+    ("appbt", {"iterations": 1, "seed": 12345}),
+)
+FIG8_DEVICES = ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
+NUM_NODES = 8
+SCALE = 0.25
+
+#: (module, attribute) pairs rebound to hot-swap the kernel under the
+#: unchanged clients.  Clients bind these names at import time, so patching
+#: repro.sim alone would not reach them.
+_KERNEL_PATCH_POINTS = (
+    ("repro.node.machine", "Simulator"),
+    ("repro.node.processor", "start_process"),
+    ("repro.ni.base", "Signal"),
+    ("repro.ni.base", "start_process"),
+    ("repro.ni.ni2w", "Signal"),
+    ("repro.ni.cni4", "Signal"),
+    ("repro.ni.cniq", "Signal"),
+    ("repro.network.fabric", "Signal"),
+    ("repro.coherence.bus", "Resource"),
+)
+
+
+@contextmanager
+def legacy_kernel_installed():
+    """Temporarily run the whole machine on the pre-overhaul kernel."""
+    import importlib
+
+    saved = []
+    for module_name, attr in _KERNEL_PATCH_POINTS:
+        module = importlib.import_module(module_name)
+        saved.append((module, attr, getattr(module, attr)))
+        setattr(module, attr, getattr(_legacy_kernel, attr))
+    try:
+        yield
+    finally:
+        for module, attr, original in saved:
+            setattr(module, attr, original)
+
+
+# ----------------------------------------------------------------------
+# Synthetic kernel stress
+# ----------------------------------------------------------------------
+def _stress_worker(kernel, resources, worker_id: int, rounds: int):
+    res = resources[worker_id % len(resources)]
+    acquire = kernel.Acquire(res)
+    for r in range(rounds):
+        yield (worker_id + r) % 7 + 1  # future event (heap)
+        yield acquire  # FIFO resource grant (same-cycle)
+        yield 2
+        res.release()
+        yield 0  # explicit same-cycle event (lane)
+
+
+def stress_events_per_sec(kernel, budget_events: int) -> float:
+    """Run the synthetic mix on ``kernel`` until ~budget_events executed."""
+    processes = 32
+    rounds = max(1, budget_events // (processes * 4))
+    sim = kernel.Simulator()
+    resources = [kernel.Resource(sim, name=f"r{i}") for i in range(8)]
+    procs = [
+        kernel.start_process(sim, _stress_worker(kernel, resources, i, rounds), name=f"w{i}")
+        for i in range(processes)
+    ]
+    start = perf_counter()
+    sim.run()
+    wall = perf_counter() - start
+    assert all(p.finished for p in procs), "stress workload deadlocked"
+    return sim.event_count / wall if wall > 0 else float("inf")
+
+
+class _CurrentKernel:
+    """Namespace adapter matching _legacy_kernel's module surface."""
+
+    Simulator = Simulator
+    Delay = Delay
+    Acquire = Acquire
+    Signal = Signal
+    Resource = Resource
+    start_process = staticmethod(start_process)
+
+
+# ----------------------------------------------------------------------
+# Fig8 macro workloads on the full machine
+# ----------------------------------------------------------------------
+def _fig8_round() -> tuple:
+    """One pass over the fig8 mix; returns (events, sim-run wall seconds)."""
+    from repro.apps import create_workload
+    from repro.node.machine import Machine
+
+    events = 0
+    wall = 0.0
+    for workload_name, kwargs in FIG8_MIX:
+        for device in FIG8_DEVICES:
+            machine = Machine.build(device, "memory", num_nodes=NUM_NODES)
+            workload = create_workload(workload_name, scale=SCALE, **kwargs)
+            programs = workload.programs(machine)
+            machine.start()
+            procs = [
+                machine.nodes[i].processor.run_program(p) for i, p in enumerate(programs)
+            ]
+            start = perf_counter()
+            machine.sim.run(until=2_000_000_000)
+            wall += perf_counter() - start
+            assert all(p.finished for p in procs), f"{workload_name}/{device} hung"
+            events += machine.sim.event_count
+    return events, wall
+
+
+def fig8_events_per_sec(repeats: int = 3) -> dict:
+    """Interleaved A/B of the current vs. reference kernel on the fig8 mix."""
+    current_best = 0.0
+    legacy_best = 0.0
+    events = 0
+    for _ in range(repeats):
+        events, wall = _fig8_round()
+        current_best = max(current_best, events / wall)
+        with legacy_kernel_installed():
+            legacy_events, legacy_wall = _fig8_round()
+        assert legacy_events == events, (
+            f"kernel swap changed the simulation: {legacy_events} != {events} events"
+        )
+        legacy_best = max(legacy_best, legacy_events / legacy_wall)
+    return {
+        "events_per_run": events,
+        "current_events_per_sec": current_best,
+        "legacy_events_per_sec": legacy_best,
+        "speedup": current_best / legacy_best if legacy_best else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entries (absolute tracking through the repro.api sweep layer)
+# ----------------------------------------------------------------------
+def _engine_sweep_results():
+    from _util import runner
+
+    sweep = engine_sweep(
+        [wl for wl, _ in FIG8_MIX],
+        [(device, "memory") for device in FIG8_DEVICES],
+        num_nodes=NUM_NODES,
+        scale=SCALE,
+        workload_kwargs={wl: kw for wl, kw in FIG8_MIX},
+    )
+    return runner().run(sweep)
+
+
+def test_engine_throughput_sweep(benchmark):
+    from _util import single_run
+
+    results = single_run(benchmark, _engine_sweep_results)
+    total_events = sum(r.metrics["events"] for r in results)
+    total_wall = sum(r.metrics["wall_s"] for r in results)
+    print(
+        f"\nEngine sweep: {total_events:.0f} events at "
+        f"{total_events / total_wall:,.0f} events/sec overall"
+    )
+    for r in results:
+        assert r.metrics["events"] > 0
+        assert r.metrics["events_per_sec"] > 0
+
+
+def test_engine_beats_legacy_reference(benchmark):
+    from _util import single_run
+
+    report = single_run(benchmark, fig8_events_per_sec, 1)
+    print(
+        f"\nFig8 kernel A/B: current {report['current_events_per_sec']:,.0f} ev/s, "
+        f"reference {report['legacy_events_per_sec']:,.0f} ev/s, "
+        f"speedup {report['speedup']:.2f}x"
+    )
+    # The overhauled kernel must never be slower than the pre-overhaul one.
+    assert report["speedup"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--budget", type=int, default=200_000,
+                        help="approximate synthetic-stress event budget")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved A/B rounds (best-of)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on a kernel throughput regression")
+    parser.add_argument("--max-regression", type=float, default=3.0,
+                        help="fail --check if current < reference / this factor")
+    parser.add_argument("--fig8", action="store_true",
+                        help="also A/B the full fig8 macro mix (slower)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    report = {}
+    current_best = 0.0
+    legacy_best = 0.0
+    for _ in range(args.repeats):
+        current_best = max(current_best, stress_events_per_sec(_CurrentKernel, args.budget))
+        legacy_best = max(legacy_best, stress_events_per_sec(_legacy_kernel, args.budget))
+    report["stress"] = {
+        "budget_events": args.budget,
+        "current_events_per_sec": current_best,
+        "legacy_events_per_sec": legacy_best,
+        "speedup": current_best / legacy_best if legacy_best else float("inf"),
+    }
+    print(f"synthetic stress   current: {current_best:>12,.0f} events/sec")
+    print(f"synthetic stress   reference: {legacy_best:>10,.0f} events/sec")
+    print(f"synthetic stress   speedup: {report['stress']['speedup']:.2f}x")
+
+    if args.fig8:
+        report["fig8"] = fig8_events_per_sec(repeats=args.repeats)
+        print(f"fig8 macro mix     current: {report['fig8']['current_events_per_sec']:>12,.0f} events/sec")
+        print(f"fig8 macro mix     reference: {report['fig8']['legacy_events_per_sec']:>10,.0f} events/sec")
+        print(f"fig8 macro mix     speedup: {report['fig8']['speedup']:.2f}x")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+
+    if args.check:
+        floor = legacy_best / args.max_regression
+        if current_best < floor:
+            print(
+                f"FAIL: current kernel at {current_best:,.0f} events/sec is worse than "
+                f"1/{args.max_regression:g} of the reference ({legacy_best:,.0f})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: {current_best:,.0f} >= {floor:,.0f} events/sec floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

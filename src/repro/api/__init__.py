@@ -25,6 +25,7 @@ Typical use::
 from repro.api.cache import ResultCache
 from repro.api.presets import (
     bandwidth_sweep,
+    engine_sweep,
     latency_sweep,
     macro_sweep,
     occupancy_reductions,
@@ -47,6 +48,7 @@ __all__ = [
     "latency_sweep",
     "bandwidth_sweep",
     "macro_sweep",
+    "engine_sweep",
     "speedups",
     "occupancy_reductions",
     "paper_tables",

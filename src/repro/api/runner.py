@@ -40,6 +40,8 @@ def run_point(spec: ExperimentSpec) -> RunResult:
         metrics = _run_latency(spec)
     elif spec.kind == "bandwidth":
         metrics = _run_bandwidth(spec)
+    elif spec.kind == "engine":
+        metrics = _run_engine(spec)
     else:
         metrics = _run_macro(spec)
     return RunResult(spec=spec, metrics=metrics, elapsed_s=time.perf_counter() - started)
@@ -125,6 +127,35 @@ def _run_macro(spec: ExperimentSpec) -> Dict[str, float]:
     }
 
 
+def _run_engine(spec: ExperimentSpec) -> Dict[str, float]:
+    """Kernel-throughput metrics (wall-clock; do not cache these points)."""
+    from repro.experiments.enginebench import kernel_throughput
+
+    workload_kwargs = dict(spec.workload_kwargs)
+    workload_kwargs.setdefault("seed", spec.resolved_seed())
+    overrides = _machine_overrides(spec)
+    overrides.setdefault("max_cycles", 2_000_000_000)
+    result = kernel_throughput(
+        spec.workload,
+        spec.device,
+        spec.bus,
+        num_nodes=spec.num_nodes,
+        scale=spec.scale,
+        snarfing=spec.snarfing,
+        workload_kwargs=workload_kwargs,
+        **overrides,
+    )
+    return {
+        "cycles": float(result.cycles),
+        "events": float(result.events),
+        "wall_s": result.wall_s,
+        "events_per_sec": result.events_per_sec,
+        "lane_events": float(result.lane_events),
+        "heap_events": float(result.heap_events),
+        "pool_reuses": float(result.pool_reuses),
+    }
+
+
 def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: dict in, dict out, so payloads pickle trivially."""
     return run_point(ExperimentSpec.from_dict(payload)).to_dict()
@@ -191,10 +222,15 @@ class SweepRunner:
 
         # Memo levels: results already produced through this runner (e.g. a
         # previous figure's sweep sharing points), then the on-disk cache.
+        # kind="engine" points are wall-clock measurements: serving them from
+        # any memo would report stale throughput, so they always re-run.
         known = self.history.by_hash() if len(self.history) else {}
         resolved: Dict[str, RunResult] = {}
         pending: List[ExperimentSpec] = []
         for key, spec in unique.items():
+            if spec.kind == "engine":
+                pending.append(spec)
+                continue
             hit = known.get(key)
             if hit is None and self.cache is not None:
                 hit = self.cache.get(spec)
@@ -216,7 +252,7 @@ class SweepRunner:
             completions = ((spec, run_point(spec)) for spec in pending)
         for spec, result in completions:
             resolved[spec.spec_hash()] = result
-            if self.cache is not None:
+            if self.cache is not None and spec.kind != "engine":
                 self.cache.put(result)
             completed += 1
             if self.progress is not None:

@@ -23,7 +23,9 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 from repro.common.types import BusKind
 
 #: Measurement kinds understood by :func:`repro.api.runner.run_point`.
-KINDS = ("latency", "bandwidth", "macro")
+#: ``"engine"`` runs a macro workload while profiling the simulation kernel
+#: itself (events/sec); its metrics are wall-clock and machine-dependent.
+KINDS = ("latency", "bandwidth", "macro", "engine")
 
 #: Version tag baked into every canonical form so that cache entries from
 #: incompatible schema revisions never collide.
@@ -60,7 +62,9 @@ class ExperimentSpec:
     * ``"bandwidth"`` — Figure 7 streaming bandwidth microbenchmark
       (uses ``message_bytes``, ``messages``, ``warmup``);
     * ``"macro"`` — one Figure 8 macrobenchmark run (uses ``workload``,
-      ``scale``, ``workload_kwargs``).
+      ``scale``, ``workload_kwargs``);
+    * ``"engine"`` — a macro run measured for *kernel throughput*
+      (events/sec); same fields as ``"macro"``, wall-clock metrics.
 
     ``params`` holds :class:`~repro.common.params.MachineParams` overrides
     (e.g. ``{"sliding_window": 4}``), ``ni_kwargs`` device-constructor
@@ -113,7 +117,7 @@ class ExperimentSpec:
                 raise SpecError("latency experiments need at least one iteration")
             if self.kind == "bandwidth" and self.messages < 1:
                 raise SpecError("bandwidth experiments need at least one message")
-        if self.kind == "macro":
+        if self.kind in ("macro", "engine"):
             from repro.apps import MACROBENCHMARKS
 
             if self.workload is None:
@@ -193,7 +197,7 @@ class ExperimentSpec:
         return replace(self, **overrides)
 
     def describe(self) -> str:
-        if self.kind == "macro":
+        if self.kind in ("macro", "engine"):
             what = f"{self.workload} x{self.scale:g} on {self.num_nodes} nodes"
         else:
             what = f"{self.message_bytes} B"

@@ -19,11 +19,16 @@ from typing import Iterable, List, Optional
 
 from repro.common.addrmap import AddressMap
 from repro.common.params import MachineParams
-from repro.common.types import AgentKind, BusKind, BusOp, BusTransaction, SnoopResponse
-from repro.sim import Acquire, Counter, Delay, Resource, Simulator
+from repro.common.types import AgentKind, BusKind, BusOp, BusTransaction
+from repro.sim import Counter, Resource, Simulator
 
 #: Cycles an I/O-side initiator waits after being NACKed by the bridge.
 NACK_BACKOFF_CYCLES = 20
+
+#: Per-op / per-bus stat keys, precomputed once instead of formatted on
+#: every transaction (the bus transaction path is the simulator's hottest).
+_TXN_OP_KEY = {op: f"txn_{op.value}" for op in BusOp}
+_TXN_BUS_KEY = {bus: f"txn_on_{bus.value}" for bus in BusKind}
 
 
 class BusError(RuntimeError):
@@ -54,6 +59,25 @@ class NodeInterconnect:
             Resource(sim, name=f"{name}.cachebus") if with_cache_bus else None
         )
         self._agents: List[object] = []
+        #: Memoised per-initiator snooper lists (everyone but the initiator),
+        #: keyed by id(initiator); cleared on attach/detach.
+        self._snoopers_cache: dict = {}
+        #: Memoised address -> (home agent, block address, cachable) lookups
+        #: (cleared on attach/detach).
+        self._addr_cache: dict = {}
+        #: Memoised Table-2 occupancy lookups, keyed by
+        #: (op, timing bus, initiator kind, supplier kind, data_from_memory).
+        self._occupancy_cache: dict = {}
+        # Preallocated (timing_bus, resources) pairs: the resource lists are
+        # only ever iterated by transaction(), never mutated, so every
+        # transaction can share them instead of allocating its own.
+        self._mem_buses = (BusKind.MEMORY, [self.membus])
+        self._io_buses = (
+            (BusKind.IO, [self.membus, self.iobus]) if self.iobus is not None else None
+        )
+        self._cache_buses = (
+            (BusKind.CACHE, [self.cachebus]) if self.cachebus is not None else None
+        )
         self.stats = Counter()
         self.nack_count = 0
 
@@ -70,18 +94,33 @@ class NodeInterconnect:
             if not hasattr(agent, attr):
                 raise BusError(f"agent {agent!r} lacks required attribute {attr!r}")
         self._agents.append(agent)
+        self._addr_cache.clear()
+        self._snoopers_cache.clear()
 
     def detach(self, agent: object) -> None:
         self._agents.remove(agent)
+        self._addr_cache.clear()
+        self._snoopers_cache.clear()
 
     @property
     def agents(self) -> Iterable[object]:
         return tuple(self._agents)
 
     def home_agent(self, address: int) -> object:
+        return self._addr_info(address)[0]
+
+    def _addr_info(self, address: int) -> tuple:
+        """(home agent, block address, cachable) for ``address``, memoised."""
+        info = self._addr_cache.get(address)
+        if info is not None:
+            return info
+        addrmap = self.addrmap
         for agent in self._agents:
             if agent.is_home(address):
-                return agent
+                block_address = address - (address % addrmap.block_bytes)
+                info = (agent, block_address, addrmap.is_cachable(block_address))
+                self._addr_cache[address] = info
+                return info
         raise BusError(f"no home agent for address {address:#x} on {self.name}")
 
     # ------------------------------------------------------------------
@@ -91,17 +130,19 @@ class NodeInterconnect:
         """Return (bus_kind_for_timing, resources_to_hold)."""
         initiator_bus = getattr(txn.initiator, "bus_kind", BusKind.MEMORY)
         home_bus = home.bus_kind
-        involved = {initiator_bus, home_bus}
-        if BusKind.CACHE in involved:
+        if initiator_bus is BusKind.CACHE or home_bus is BusKind.CACHE:
             # NI on the dedicated cache bus: private fast path between the
             # processor and the NI that does not occupy the memory bus.
-            resources = [self.cachebus] if self.cachebus is not None else []
-            return BusKind.CACHE, resources
-        if BusKind.IO in involved:
-            if self.iobus is None:
+            if self._cache_buses is None:
+                # An empty resource list here would let cache-bus
+                # transactions run with no mutual exclusion at all.
+                raise BusError(f"{self.name} has no cache bus but agent requires one")
+            return self._cache_buses
+        if initiator_bus is BusKind.IO or home_bus is BusKind.IO:
+            if self._io_buses is None:
                 raise BusError(f"{self.name} has no I/O bus but agent requires one")
-            return BusKind.IO, [self.membus, self.iobus]
-        return BusKind.MEMORY, [self.membus]
+            return self._io_buses
+        return self._mem_buses
 
     # ------------------------------------------------------------------
     # Transactions
@@ -120,80 +161,113 @@ class NodeInterconnect:
         the transaction.  The data supplier and resulting occupancy are
         resolved from the snoop responses and the paper's Table 2.
         """
+        home, block_address, cachable = self._addr_info(address)
+        # Positional construction: this runs for every bus transaction.
         txn = BusTransaction(
-            op=op,
-            address=address,
-            size=size,
-            initiator=initiator,
-            initiator_kind=getattr(initiator, "agent_kind", AgentKind.PROCESSOR),
-            issue_time=self.sim.now,
+            op,
+            address,
+            size,
+            initiator,
+            getattr(initiator, "agent_kind", AgentKind.PROCESSOR),
+            self.sim._now,
+            block_address,
+            cachable,
+            home,
         )
-        home = self.home_agent(address)
-        timing_bus, resources = self._buses_for(txn, home)
-
-        # --- Arbitration -------------------------------------------------
-        io_side_initiator = getattr(initiator, "bus_kind", BusKind.MEMORY) is BusKind.IO
-        if io_side_initiator and self.membus in resources:
-            # The I/O bridge NACKs the I/O-side transaction if the memory bus
-            # is busy at the moment the transaction is initiated.
-            if not self.membus.try_acquire_now():
-                self.nack_count += 1
-                self.stats.add("bridge_nacks")
-                yield Delay(NACK_BACKOFF_CYCLES)
-                yield Acquire(self.membus)
-            # Memory bus is now held; take the I/O bus in order.
-            if self.iobus is not None and self.iobus in resources:
-                yield Acquire(self.iobus)
-            held = [r for r in resources if r is not None]
+        initiator_bus = getattr(initiator, "bus_kind", BusKind.MEMORY)
+        if initiator_bus is BusKind.MEMORY and home.bus_kind is BusKind.MEMORY:
+            timing_bus, resources = self._mem_buses
         else:
-            held = []
-            for resource in resources:
-                if resource is None:
-                    continue
-                yield Acquire(resource)
-                held.append(resource)
+            timing_bus, resources = self._buses_for(txn, home)
 
+        # ``held`` records exactly what has been acquired so far; the
+        # ``finally`` below releases that set and nothing else, so an
+        # exception at any yield point (NACK backoff, a bus wait, the snoop
+        # phase) can neither leak a bus nor release one we never owned.
+        held = []
         try:
-            # --- Snoop phase --------------------------------------------
-            for agent in self._agents:
-                if agent is initiator:
-                    continue
-                response = agent.snoop(txn)
-                if response is None:
-                    continue
-                if response.supplies_data and txn.supplier is None:
-                    txn.supplier = agent
-                    txn.supplier_kind = agent.agent_kind
-                if response.shared:
-                    txn.shared = True
-            if txn.supplier is None and op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE):
+            # --- Arbitration ---------------------------------------------
+            io_side_initiator = initiator_bus is BusKind.IO
+            if io_side_initiator and self.membus in resources:
+                # The I/O bridge NACKs the I/O-side transaction if the memory
+                # bus is busy at the moment the transaction is initiated.
+                if self.membus.try_acquire_now():
+                    held.append(self.membus)
+                else:
+                    self.nack_count += 1
+                    self.stats.add("bridge_nacks")
+                    yield NACK_BACKOFF_CYCLES
+                    yield self.membus
+                    held.append(self.membus)
+                # Memory bus is now held; take the I/O bus in order.
+                if self.iobus is not None and self.iobus in resources:
+                    yield self.iobus
+                    held.append(self.iobus)
+            else:
+                for resource in resources:
+                    if resource is None:
+                        continue
+                    yield resource
+                    held.append(resource)
+
+            # --- Snoop phase ----------------------------------------------
+            if op is BusOp.UNCACHED_READ or op is BusOp.UNCACHED_WRITE:
+                # Uncached register accesses terminate at the home device:
+                # caches and memory ignore them without any state change, so
+                # only the home's snoop hook can have an effect.
+                if home is not initiator:
+                    home.snoop(txn)
                 txn.supplier = home
                 txn.supplier_kind = home.agent_kind
-                txn.data_from_memory = home.agent_kind is AgentKind.MEMORY
-            if op in (BusOp.UNCACHED_READ, BusOp.UNCACHED_WRITE):
-                txn.supplier = home
-                txn.supplier_kind = home.agent_kind
+            else:
+                snoopers = self._snoopers_cache.get(id(initiator))
+                if snoopers is None:
+                    snoopers = [agent for agent in self._agents if agent is not initiator]
+                    if len(snoopers) != len(self._agents):
+                        # Attached initiators are kept alive by _agents, so
+                        # their id() cannot be recycled while cached.  An
+                        # unattached initiator gets no cache entry.
+                        self._snoopers_cache[id(initiator)] = snoopers
+                for agent in snoopers:
+                    response = agent.snoop(txn)
+                    if response is None:
+                        continue
+                    if response.supplies_data and txn.supplier is None:
+                        txn.supplier = agent
+                        txn.supplier_kind = agent.agent_kind
+                    if response.shared:
+                        txn.shared = True
+                if txn.supplier is None and (
+                    op is BusOp.READ_SHARED or op is BusOp.READ_EXCLUSIVE
+                ):
+                    txn.supplier = home
+                    txn.supplier_kind = home.agent_kind
+                    txn.data_from_memory = home.agent_kind is AgentKind.MEMORY
 
             # --- Occupancy ------------------------------------------------
-            occupancy = self.params.occupancy(
-                op,
-                timing_bus,
-                txn.initiator_kind,
-                txn.supplier_kind,
-                data_from_memory=txn.data_from_memory,
-            )
-            self.stats.add(f"txn_{op.value}")
-            self.stats.add(f"txn_on_{timing_bus.value}")
-            self.stats.add("txn_total")
-            self.stats.add("occupancy_cycles", occupancy)
+            occ_key = (op, timing_bus, txn.initiator_kind, txn.supplier_kind, txn.data_from_memory)
+            occupancy = self._occupancy_cache.get(occ_key)
+            if occupancy is None:
+                occupancy = self._occupancy_cache[occ_key] = self.params.occupancy(
+                    op,
+                    timing_bus,
+                    txn.initiator_kind,
+                    txn.supplier_kind,
+                    data_from_memory=txn.data_from_memory,
+                )
+            counts = self.stats.raw
+            counts[_TXN_OP_KEY[op]] += 1
+            counts[_TXN_BUS_KEY[timing_bus]] += 1
+            counts["txn_total"] += 1
+            counts["occupancy_cycles"] += occupancy
             if self.membus in held:
-                self.stats.add("membus_occupancy_cycles", occupancy)
+                counts["membus_occupancy_cycles"] += occupancy
             if self.iobus is not None and self.iobus in held:
-                self.stats.add("iobus_occupancy_cycles", occupancy)
-            yield Delay(occupancy)
+                counts["iobus_occupancy_cycles"] += occupancy
+            yield occupancy
         finally:
-            for resource in reversed(held):
-                resource.release()
+            while held:  # release in reverse acquisition order
+                held.pop().release()
         return txn
 
     # ------------------------------------------------------------------

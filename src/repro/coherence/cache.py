@@ -23,7 +23,7 @@ from repro.common.types import (
     SnoopResponse,
 )
 from repro.coherence.bus import NodeInterconnect
-from repro.sim import Counter, Delay, Simulator
+from repro.sim import Counter, Simulator
 
 
 class CacheError(RuntimeError):
@@ -74,8 +74,15 @@ class CoherentCache:
         self.snarfing = snarfing
         self.block_bytes = params.cache_block_bytes
         self.num_sets = size_bytes // self.block_bytes
-        self._sets: List[_BlockEntry] = [_BlockEntry() for _ in range(self.num_sets)]
+        # Frames are allocated lazily on first touch: building a 2048-set
+        # cache per node per experiment point is pure construction overhead
+        # for the (common) runs that touch a fraction of the sets.
+        self._sets: List[Optional[_BlockEntry]] = [None] * self.num_sets
         self.stats = Counter()
+        # Hot-path constants (one attribute load instead of a params chase).
+        self._hit_cycles = params.cache_hit_cycles
+        self._miss_tail_cycles = self._miss_extra_cycles() + params.cache_hit_cycles
+        self._counts = self.stats.raw
         #: Optional hook invoked (synchronously) after this cache snoops a
         #: transaction from another agent.  CNI devices use it to implement
         #: virtual polling.
@@ -93,12 +100,19 @@ class CoherentCache:
     def _block_base(self, index: int, tag: int) -> int:
         return (tag * self.num_sets + index) * self.block_bytes
 
+    def _entry(self, index: int) -> _BlockEntry:
+        """The frame at ``index``, allocating it on first touch."""
+        entry = self._sets[index]
+        if entry is None:
+            entry = self._sets[index] = _BlockEntry()
+        return entry
+
     def probe_state(self, address: int) -> CoherenceState:
         """Current coherence state of the block containing ``address``."""
         block = self.addrmap.block_address(address)
         index, tag = self._locate(block)
         entry = self._sets[index]
-        if entry.matches(tag):
+        if entry is not None and entry.matches(tag):
             return entry.state
         return CoherenceState.INVALID
 
@@ -106,6 +120,8 @@ class CoherentCache:
         """Addresses of all valid blocks (mainly for tests)."""
         blocks = []
         for index, entry in enumerate(self._sets):
+            if entry is None:
+                continue
             if entry.state is not CoherenceState.INVALID and entry.tag is not None:
                 blocks.append(self._block_base(index, entry.tag))
         return blocks
@@ -135,14 +151,19 @@ class CoherentCache:
 
     def read_block(self, block_addr: int):
         """Obtain a readable (S or better) copy of a single block."""
-        block_addr = self.addrmap.block_address(block_addr)
-        index, tag = self._locate(block_addr)
+        block_bytes = self.block_bytes
+        block_addr -= block_addr % block_bytes
+        block_number = block_addr // block_bytes
+        index = block_number % self.num_sets
+        tag = block_number // self.num_sets
         entry = self._sets[index]
+        if entry is None:
+            entry = self._sets[index] = _BlockEntry()
         if entry.matches(tag):
-            self.stats.add("read_hits")
-            yield Delay(self.params.cache_hit_cycles)
+            self._counts["read_hits"] += 1
+            yield self._hit_cycles
             return
-        self.stats.add("read_misses")
+        self._counts["read_misses"] += 1
         yield from self._evict_if_needed(entry, index)
         txn = yield from self.interconnect.transaction(
             self, BusOp.READ_SHARED, block_addr, self.block_bytes
@@ -152,22 +173,27 @@ class CoherentCache:
             entry.state = CoherenceState.EXCLUSIVE
         else:
             entry.state = CoherenceState.SHARED
-        yield Delay(self._miss_extra_cycles() + self.params.cache_hit_cycles)
+        yield self._miss_tail_cycles
 
     def write_block(self, block_addr: int):
         """Obtain write permission (M) for a single block."""
-        block_addr = self.addrmap.block_address(block_addr)
-        index, tag = self._locate(block_addr)
+        block_bytes = self.block_bytes
+        block_addr -= block_addr % block_bytes
+        block_number = block_addr // block_bytes
+        index = block_number % self.num_sets
+        tag = block_number // self.num_sets
         entry = self._sets[index]
+        if entry is None:
+            entry = self._sets[index] = _BlockEntry()
         if entry.matches(tag):
             if entry.state is CoherenceState.MODIFIED:
-                self.stats.add("write_hits")
-                yield Delay(self.params.cache_hit_cycles)
+                self._counts["write_hits"] += 1
+                yield self._hit_cycles
                 return
             if entry.state is CoherenceState.EXCLUSIVE:
-                self.stats.add("write_hits")
+                self._counts["write_hits"] += 1
                 entry.state = CoherenceState.MODIFIED
-                yield Delay(self.params.cache_hit_cycles)
+                yield self._hit_cycles
                 return
             # SHARED or OWNED: upgrade (invalidate other copies).
             self.stats.add("write_upgrades")
@@ -175,7 +201,7 @@ class CoherentCache:
                 self, BusOp.UPGRADE, block_addr, self.block_bytes
             )
             entry.state = CoherenceState.MODIFIED
-            yield Delay(self.params.cache_hit_cycles)
+            yield self.params.cache_hit_cycles
             return
         self.stats.add("write_misses")
         yield from self._evict_if_needed(entry, index)
@@ -184,7 +210,7 @@ class CoherentCache:
         )
         entry.tag = tag
         entry.state = CoherenceState.MODIFIED
-        yield Delay(self._miss_extra_cycles() + self.params.cache_hit_cycles)
+        yield self._miss_tail_cycles
 
     def _miss_extra_cycles(self) -> int:
         """Latency a miss sees beyond the bus occupancy (processor caches only)."""
@@ -203,19 +229,19 @@ class CoherentCache:
         """
         block_addr = self.addrmap.block_address(block_addr)
         index, tag = self._locate(block_addr)
-        entry = self._sets[index]
+        entry = self._entry(index)
         if entry.matches(tag):
             if entry.state.is_writable():
-                self.stats.add("write_hits")
+                self._counts["write_hits"] += 1
                 entry.state = CoherenceState.MODIFIED
-                yield Delay(self.params.cache_hit_cycles)
+                yield self._hit_cycles
                 return
             self.stats.add("write_upgrades")
             yield from self.interconnect.transaction(
                 self, BusOp.UPGRADE, block_addr, self.block_bytes
             )
             entry.state = CoherenceState.MODIFIED
-            yield Delay(self.params.cache_hit_cycles)
+            yield self.params.cache_hit_cycles
             return
         self.stats.add("write_misses_full_block")
         yield from self._evict_if_needed(entry, index)
@@ -224,14 +250,14 @@ class CoherentCache:
         )
         entry.tag = tag
         entry.state = CoherenceState.MODIFIED
-        yield Delay(self.params.cache_hit_cycles)
+        yield self.params.cache_hit_cycles
 
     def flush_block(self, block_addr: int):
         """Write a dirty block back to its home and drop it (explicit flush)."""
         block_addr = self.addrmap.block_address(block_addr)
         index, tag = self._locate(block_addr)
         entry = self._sets[index]
-        if not entry.matches(tag):
+        if entry is None or not entry.matches(tag):
             return
         if entry.state.is_dirty():
             self.stats.add("explicit_flushes")
@@ -245,7 +271,7 @@ class CoherentCache:
         block_addr = self.addrmap.block_address(block_addr)
         index, tag = self._locate(block_addr)
         entry = self._sets[index]
-        if entry.matches(tag):
+        if entry is not None and entry.matches(tag):
             entry.state = CoherenceState.INVALID
 
     def _evict_if_needed(self, entry: _BlockEntry, index: int):
@@ -265,46 +291,58 @@ class CoherentCache:
     # ------------------------------------------------------------------
     # Snooping
     # ------------------------------------------------------------------
-    def snoop(self, txn: BusTransaction) -> SnoopResponse:
-        response = SnoopResponse()
-        if txn.op in (BusOp.UNCACHED_READ, BusOp.UNCACHED_WRITE):
-            return response
-        block_addr = self.addrmap.block_address(txn.address)
-        if not self.addrmap.is_cachable(block_addr):
-            return response
-        index, tag = self._locate(block_addr)
+    def snoop(self, txn: BusTransaction) -> Optional[SnoopResponse]:
+        """Observe another agent's transaction.
+
+        Returns ``None`` (which the bus treats exactly like an all-default
+        :class:`SnoopResponse`) whenever this cache neither supplies data
+        nor reports the block shared, so the common miss path allocates
+        nothing.
+        """
+        op = txn.op
+        if op is BusOp.UNCACHED_READ or op is BusOp.UNCACHED_WRITE:
+            return None
+        if not txn.cachable:
+            return None
+        block_number = txn.block_address // self.block_bytes
+        index = block_number % self.num_sets
+        tag = block_number // self.num_sets
         entry = self._sets[index]
 
-        if not entry.matches(tag):
+        if entry is None or not entry.matches(tag):
             # Data snarfing (paper Section 5.1.2): pick up data flying by on
             # the bus when the tag matches an invalid frame.
             if (
                 self.snarfing
+                and entry is not None
                 and entry.tag_matches(tag)
-                and txn.op in (BusOp.WRITEBACK, BusOp.READ_SHARED)
+                and op in (BusOp.WRITEBACK, BusOp.READ_SHARED)
             ):
                 entry.state = CoherenceState.SHARED
                 self.stats.add("snarfed_blocks")
-                response.shared = True
+                self._notify_listener(txn)
+                return SnoopResponse(shared=True)
             self._notify_listener(txn)
-            return response
+            return None
 
-        if txn.op is BusOp.READ_SHARED:
+        response: Optional[SnoopResponse] = None
+        if op is BusOp.READ_SHARED:
+            supplies = False
             if entry.state is CoherenceState.MODIFIED:
                 entry.state = CoherenceState.OWNED
-                response.supplies_data = True
+                supplies = True
             elif entry.state is CoherenceState.OWNED:
-                response.supplies_data = True
+                supplies = True
             elif entry.state is CoherenceState.EXCLUSIVE:
                 entry.state = CoherenceState.SHARED
-                response.supplies_data = True
-            response.shared = True
-        elif txn.op in (BusOp.READ_EXCLUSIVE, BusOp.UPGRADE):
-            if entry.state.is_dirty() and txn.op is BusOp.READ_EXCLUSIVE:
-                response.supplies_data = True
+                supplies = True
+            response = SnoopResponse(supplies_data=supplies, shared=True)
+        elif op is BusOp.READ_EXCLUSIVE or op is BusOp.UPGRADE:
+            if entry.state.is_dirty() and op is BusOp.READ_EXCLUSIVE:
+                response = SnoopResponse(supplies_data=True)
             entry.state = CoherenceState.INVALID
             self.stats.add("snoop_invalidations")
-        elif txn.op is BusOp.WRITEBACK:
+        elif op is BusOp.WRITEBACK:
             # Another agent wrote the block back to its home; our copy (if
             # any) stays valid only if it was a clean shared copy.
             if entry.state.is_dirty():
@@ -362,12 +400,13 @@ class MainMemory:
     def is_home(self, address: int) -> bool:
         return self.addrmap.is_dram(address)
 
-    def snoop(self, txn: BusTransaction) -> SnoopResponse:
-        if txn.op is BusOp.WRITEBACK and self.is_home(txn.address):
-            self.stats.add("writebacks_accepted")
-        elif txn.op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE) and self.is_home(txn.address):
-            self.stats.add("reads_observed")
-        return SnoopResponse()
+    def snoop(self, txn: BusTransaction) -> Optional[SnoopResponse]:
+        if txn.home is self:  # equivalent to is_home(), without the range checks
+            if txn.op is BusOp.WRITEBACK:
+                self.stats.add("writebacks_accepted")
+            elif txn.op in (BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE):
+                self.stats.add("reads_observed")
+        return None  # memory never supplies ahead of a cache, never shares
 
     def __repr__(self) -> str:
         return f"<MainMemory {self.name}>"

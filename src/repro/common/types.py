@@ -10,6 +10,10 @@ from typing import Optional, Tuple
 class BusKind(enum.Enum):
     """Which bus a device is attached to (paper Section 4.1)."""
 
+    #: Members are singletons: identity hashing (C slot) is equivalent to
+    #: the default Enum name hash but much cheaper in enum-keyed dicts.
+    __hash__ = object.__hash__
+
     CACHE = "cache"
     MEMORY = "memory"
     IO = "io"
@@ -20,6 +24,8 @@ class BusKind(enum.Enum):
 
 class CoherenceState(enum.Enum):
     """MOESI block states (Sweazey & Smith)."""
+
+    __hash__ = object.__hash__
 
     MODIFIED = "M"
     OWNED = "O"
@@ -40,6 +46,8 @@ class CoherenceState(enum.Enum):
 class BusOp(enum.Enum):
     """Bus transaction types on the snooping buses."""
 
+    __hash__ = object.__hash__
+
     READ_SHARED = "read_shared"          # coherent read, requester wants S/E
     READ_EXCLUSIVE = "read_exclusive"    # coherent read-for-ownership
     UPGRADE = "upgrade"                  # invalidate others, requester has data
@@ -51,13 +59,15 @@ class BusOp(enum.Enum):
 class AgentKind(enum.Enum):
     """What sort of agent sits behind a bus port (affects Table-2 timing)."""
 
+    __hash__ = object.__hash__
+
     PROCESSOR = "processor"
     NI_DEVICE = "ni"
     MEMORY = "memory"
     BRIDGE = "bridge"
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTransaction:
     """A single bus transaction as seen by snoopers."""
 
@@ -67,6 +77,10 @@ class BusTransaction:
     initiator: object
     initiator_kind: AgentKind
     issue_time: int = 0
+    # Precomputed by the bus so each snooper doesn't redo address math:
+    block_address: int = 0
+    cachable: bool = False
+    home: Optional[object] = None
     # Filled in during the snoop phase:
     supplier: Optional[object] = None
     supplier_kind: Optional[AgentKind] = None
@@ -77,7 +91,7 @@ class BusTransaction:
         return f"{self.op.value}@0x{self.address:08x}[{self.size}]"
 
 
-@dataclass
+@dataclass(slots=True)
 class SnoopResponse:
     """A snooper's answer to a bus transaction."""
 
@@ -107,7 +121,7 @@ class AddressRange:
         return self.start < other.end and other.start < self.end
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkMessage:
     """A fixed-size network message (256 bytes on the wire, 12-byte header).
 

@@ -1,0 +1,78 @@
+"""Kernel-throughput experiment: events/sec on real simulator workloads.
+
+The paper's figures measure *simulated* time; this module measures the
+simulator itself.  One engine-bench point runs a macrobenchmark workload on
+a machine configuration with :meth:`Machine.run_programs(profile=True)` and
+reports how fast the kernel chewed through its event queue — events/sec,
+the lane/heap split and event-pool reuse — so kernel regressions show up in
+the same sweep infrastructure that tracks the paper results.
+
+Unlike every other experiment kind, the metrics here are wall-clock
+measurements: they are machine-dependent and not reproducible bit-for-bit,
+so engine points should not be served from the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.apps import create_workload
+from repro.common.types import BusKind
+from repro.node.machine import Machine
+
+
+@dataclass
+class EngineBenchResult:
+    """Kernel throughput for one (workload, device, bus) configuration."""
+
+    workload: str
+    ni_name: str
+    bus: str
+    cycles: int
+    events: int
+    wall_s: float
+    events_per_sec: float
+    lane_events: int
+    heap_events: int
+    pool_reuses: int
+
+    @property
+    def lane_fraction(self) -> float:
+        return self.lane_events / self.events if self.events else 0.0
+
+
+def kernel_throughput(
+    workload_name: str,
+    ni_name: str = "CNI16Qm",
+    bus: Union[str, BusKind] = "memory",
+    num_nodes: int = 8,
+    scale: float = 0.25,
+    snarfing: bool = False,
+    max_cycles: Optional[int] = 2_000_000_000,
+    workload_kwargs: Optional[Dict] = None,
+    params=None,
+    ni_kwargs: Optional[Dict] = None,
+) -> EngineBenchResult:
+    """Run one macro workload and measure kernel events/sec while it runs."""
+    machine = Machine.build(
+        ni_name, bus, num_nodes=num_nodes, snarfing=snarfing,
+        params=params, ni_kwargs=ni_kwargs,
+    )
+    workload = create_workload(workload_name, scale=scale, **(workload_kwargs or {}))
+    cycles = machine.run_programs(
+        workload.programs(machine), max_cycles=max_cycles, profile=True
+    )
+    profile = machine.last_profile
+    return EngineBenchResult(
+        workload=workload_name,
+        ni_name=ni_name,
+        bus=str(bus if isinstance(bus, str) else bus.value),
+        cycles=cycles,
+        events=int(profile["events"]),
+        wall_s=profile["wall_s"],
+        events_per_sec=profile["events_per_sec"],
+        lane_events=int(profile["lane_events"]),
+        heap_events=int(profile["heap_events"]),
+        pool_reuses=int(profile["pool_reuses"]),
+    )

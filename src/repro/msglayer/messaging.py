@@ -22,14 +22,15 @@ built from them).  This module provides that layer:
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.params import MachineParams
 from repro.common.types import NetworkMessage
 from repro.ni.base import AbstractNI
 from repro.node.processor import Processor
-from repro.sim import Counter, Delay, Simulator
+from repro.sim import Counter, Simulator
 
 
 class MessagingError(RuntimeError):
@@ -94,11 +95,12 @@ class MessagingLayer:
         self.ni = ni
         self.params = params
         self.stats = Counter()
+        self._counts = self.stats.raw
         self._handlers: Dict[str, Callable] = {}
         self._msg_ids = itertools.count()
         self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
         #: Messages drained from the NI while a send was blocked.
-        self._software_buffer: List[NetworkMessage] = []
+        self._software_buffer: "deque[NetworkMessage]" = deque()
         self._software_buffer_base = dram_allocator.allocate_blocks(SOFTWARE_BUFFER_BLOCKS)
         self._software_buffer_next = 0
         # Barrier state.
@@ -172,8 +174,8 @@ class MessagingLayer:
             )
             yield from self.processor.compute(SOFTWARE_OVERHEAD_CYCLES)
             yield from self._send_network_message(netmsg)
-        self.stats.add("user_messages_sent")
-        self.stats.add("user_bytes_sent", user_bytes)
+        self._counts["user_messages_sent"] += 1
+        self._counts["user_bytes_sent"] += user_bytes
 
     def broadcast(self, handler: str, user_bytes: int, body: Tuple = ()):
         """One-to-all broadcast (a loop of point-to-point sends)."""
@@ -189,14 +191,14 @@ class MessagingLayer:
         while True:
             accepted = yield from self.ni.proc_try_send(netmsg)
             if accepted:
-                self.stats.add("network_messages_sent")
+                self._counts["network_messages_sent"] += 1
                 return
             attempts += 1
-            self.stats.add("send_blocked")
+            self._counts["send_blocked"] += 1
             if attempts <= DRAIN_AFTER_RETRIES:
                 # Transient busy (e.g. the device is still pulling the
                 # previous message): just spin on the send interface.
-                yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+                yield SEND_RETRY_BACKOFF_CYCLES
             else:
                 yield from self._drain_while_blocked()
 
@@ -208,11 +210,11 @@ class MessagingLayer:
         one message from the NI into the user-space software buffer.
         """
         if getattr(self.ni, "recv_home", "device") == "memory":
-            yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            yield SEND_RETRY_BACKOFF_CYCLES
             return
         message = yield from self.ni.proc_poll()
         if message is None:
-            yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+            yield SEND_RETRY_BACKOFF_CYCLES
             return
         # Copy the message into user-space memory (paying the store traffic).
         buffer_addr = self._next_buffer_addr()
@@ -236,7 +238,7 @@ class MessagingLayer:
         completed a user-level message), False if nothing was available.
         """
         if self._software_buffer:
-            message = self._software_buffer.pop(0)
+            message = self._software_buffer.popleft()
             # Re-read the buffered copy from user-space memory.
             yield from self.processor.touch_read(
                 self._software_buffer_base, self.ni.wire_bytes(message)
@@ -258,7 +260,7 @@ class MessagingLayer:
             if got:
                 consumed += 1
             else:
-                yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+                yield SEND_RETRY_BACKOFF_CYCLES
 
     def _handle_fragment(self, message: NetworkMessage):
         fragment = message.body
@@ -273,17 +275,17 @@ class MessagingLayer:
         state.user_bytes = fragment.user_bytes
         if fragment.body:
             state.body = fragment.body
-        self.stats.add("network_messages_received")
+        self._counts["network_messages_received"] += 1
         if state.fragments_seen < state.total:
             return
         del self._reassembly[key]
-        self.stats.add("user_messages_received")
-        self.stats.add("user_bytes_received", state.user_bytes)
+        self._counts["user_messages_received"] += 1
+        self._counts["user_bytes_received"] += state.user_bytes
         yield from self._dispatch(state.handler, message.source, state.user_bytes, state.body)
 
     def _deliver_local(self, handler: str, user_bytes: int, body: Tuple):
-        self.stats.add("user_messages_sent")
-        self.stats.add("user_messages_received")
+        self._counts["user_messages_sent"] += 1
+        self._counts["user_messages_received"] += 1
         self.stats.add("local_deliveries")
         yield from self._dispatch(handler, self.node_id, user_bytes, body)
 
@@ -297,7 +299,7 @@ class MessagingLayer:
         if result is not None:
             yield from result
         else:
-            yield Delay(0)
+            yield 0
 
     # ------------------------------------------------------------------
     # Barrier
@@ -315,7 +317,7 @@ class MessagingLayer:
             while self._barrier_arrivals.get(seq, 0) < world - 1:
                 got = yield from self.poll()
                 if not got:
-                    yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+                    yield SEND_RETRY_BACKOFF_CYCLES
             for dest in range(1, world):
                 yield from self.send_active_message(dest, "__barrier_release", 8, (seq,))
             self._barrier_arrivals.pop(seq, None)
@@ -324,7 +326,7 @@ class MessagingLayer:
             while not self._barrier_released.get(seq, False):
                 got = yield from self.poll()
                 if not got:
-                    yield Delay(SEND_RETRY_BACKOFF_CYCLES)
+                    yield SEND_RETRY_BACKOFF_CYCLES
             self._barrier_released.pop(seq, None)
         self.stats.add("barriers")
 

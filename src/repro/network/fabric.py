@@ -72,9 +72,7 @@ class NetworkFabric:
         message.inject_time = self.sim.now
         self.stats.add("messages_injected")
         self.stats.add("payload_bytes", message.payload_bytes)
-        self.sim.schedule(
-            self.params.network_latency_cycles, self._deliver, message
-        )
+        self.sim.schedule_call(self.params.network_latency_cycles, self._deliver, (message,))
 
     def _deliver(self, message: NetworkMessage) -> None:
         message.deliver_time = self.sim.now
@@ -88,8 +86,8 @@ class NetworkFabric:
         if to_node not in self._ack_handlers:
             raise NetworkError(f"ack to unattached node {to_node}")
         self.stats.add("acks_sent")
-        self.sim.schedule(
-            self.params.network_latency_cycles, self._deliver_ack, from_node, to_node
+        self.sim.schedule_call(
+            self.params.network_latency_cycles, self._deliver_ack, (from_node, to_node)
         )
 
     def _deliver_ack(self, from_node: int, to_node: int) -> None:

@@ -16,6 +16,7 @@ Every NI device exposes the same two-sided interface:
 from __future__ import annotations
 
 import abc
+from collections import deque
 from typing import List, Optional
 
 from repro.common.addrmap import AddressMap, RegionAllocator
@@ -30,7 +31,7 @@ from repro.common.types import (
 )
 from repro.coherence.bus import NodeInterconnect
 from repro.network.fabric import NetworkFabric, SlidingWindow
-from repro.sim import Counter, Delay, Signal, Simulator, start_process
+from repro.sim import Counter, Signal, Simulator, start_process
 
 
 class NIError(RuntimeError):
@@ -60,12 +61,13 @@ class DeviceHomeAgent:
         addrmap = self.device.addrmap
         return addrmap.is_ni_homed(address) or addrmap.is_uncached(address)
 
-    def snoop(self, txn: BusTransaction) -> SnoopResponse:
-        if txn.op is BusOp.UNCACHED_READ and self.device.addrmap.is_uncached(txn.address):
-            self.device.uncached_read(txn.address)
-        elif txn.op is BusOp.UNCACHED_WRITE and self.device.addrmap.is_uncached(txn.address):
-            self.device.uncached_write(txn.address)
-        return SnoopResponse()
+    def snoop(self, txn: BusTransaction) -> Optional[SnoopResponse]:
+        if txn.home is self:  # only this device's own addresses can be registers
+            if txn.op is BusOp.UNCACHED_READ and self.device.addrmap.is_uncached(txn.address):
+                self.device.uncached_read(txn.address)
+            elif txn.op is BusOp.UNCACHED_WRITE and self.device.addrmap.is_uncached(txn.address):
+                self.device.uncached_write(txn.address)
+        return None  # register accesses terminate here; nothing to report
 
 
 class AbstractNI(abc.ABC):
@@ -95,6 +97,10 @@ class AbstractNI(abc.ABC):
         self.agent_kind = AgentKind.NI_DEVICE
         self.name = f"node{node_id}.{self.taxonomy_name}"
         self.stats = Counter()
+        self._counts = self.stats.raw
+        #: words/blocks per payload size, memoised (messages repeat sizes).
+        self._words_cache: dict = {}
+        self._blocks_cache: dict = {}
 
         # Device address regions.
         self._homed_alloc = RegionAllocator(addrmap.ni_homed, params.cache_block_bytes)
@@ -103,10 +109,12 @@ class AbstractNI(abc.ABC):
 
         # Network-side machinery.
         self.window = SlidingWindow(sim, params, node_id)
-        self._net_in: List[NetworkMessage] = []
+        self._net_in: "deque[NetworkMessage]" = deque()
         self._net_in_signal = Signal(sim, name=f"{self.name}.net-in")
         self._inject_signal = Signal(sim, name=f"{self.name}.inject")
         fabric.attach(node_id, self._on_network_message, self.window.on_ack)
+
+        self._uncached_load_extra = params.uncached_load_extra_cycles.get(bus_kind, 0)
 
         # The home agent makes the device answer for its own addresses.
         self.home_agent = DeviceHomeAgent(self, f"{self.name}.home")
@@ -218,13 +226,25 @@ class AbstractNI(abc.ABC):
 
     def words_for(self, message: NetworkMessage) -> int:
         """Number of 8-byte uncached accesses needed to move the message."""
-        width = self.params.uncached_access_bytes
-        return (self.wire_bytes(message) + width - 1) // width
+        payload = message.payload_bytes
+        words = self._words_cache.get(payload)
+        if words is None:
+            width = self.params.uncached_access_bytes
+            words = self._words_cache[payload] = (
+                self.params.network_header_bytes + payload + width - 1
+            ) // width
+        return words
 
     def blocks_for(self, message: NetworkMessage) -> int:
         """Number of cache blocks the message occupies."""
-        block = self.params.cache_block_bytes
-        return (self.wire_bytes(message) + block - 1) // block
+        payload = message.payload_bytes
+        blocks = self._blocks_cache.get(payload)
+        if blocks is None:
+            block = self.params.cache_block_bytes
+            blocks = self._blocks_cache[payload] = (
+                self.params.network_header_bytes + payload + block - 1
+            ) // block
+        return blocks
 
     def uncached_load(self, register: int):
         """Generator: one uncached 8-byte load from a device register.
@@ -233,22 +253,22 @@ class AbstractNI(abc.ABC):
         arbitration/response latency of the load (uncached loads cannot be
         buffered the way stores can).
         """
-        self.stats.add("uncached_loads")
+        self._counts["uncached_loads"] += 1
         yield from self.interconnect.transaction(
             self._processor_agent(), BusOp.UNCACHED_READ, register, self.params.uncached_access_bytes
         )
-        yield Delay(self.params.uncached_load_extra_cycles.get(self.bus_kind, 0))
+        yield self._uncached_load_extra
 
     def uncached_store(self, register: int):
         """Generator: one uncached 8-byte store to a device register."""
-        self.stats.add("uncached_stores")
+        self._counts["uncached_stores"] += 1
         yield from self.interconnect.transaction(
             self._processor_agent(), BusOp.UNCACHED_WRITE, register, self.params.uncached_access_bytes
         )
 
     def memory_barrier(self):
         """Generator: drain the processor store buffer."""
-        yield Delay(self.params.memory_barrier_cycles)
+        yield self.params.memory_barrier_cycles
 
     def _processor_agent(self):
         """The agent on whose behalf processor-side uncached accesses run."""

@@ -16,12 +16,13 @@ reused — the source of CNI4's bandwidth knee in Figure 7.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Optional
 
 from repro.coherence.cache import CoherentCache
 from repro.common.types import AgentKind, NetworkMessage
 from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
-from repro.sim import Delay, Signal
+from repro.sim import Signal
 
 
 class CNI4(AbstractNI):
@@ -38,6 +39,12 @@ class CNI4(AbstractNI):
         super().__init__(*args, **kwargs)
         if recv_buffer_messages < 1:
             raise NIError("CNI4 needs at least one receive buffer slot")
+        if self.params.blocks_per_network_message > self.CDR_BLOCKS:
+            raise NIError(
+                f"{self.name}: a network message spans "
+                f"{self.params.blocks_per_network_message} blocks but CNI4 "
+                f"exposes only {self.CDR_BLOCKS} CDR blocks per direction"
+            )
         self.recv_buffer_messages = recv_buffer_messages
         block_bytes = self.params.cache_block_bytes
 
@@ -47,6 +54,13 @@ class CNI4(AbstractNI):
         ]
         self.recv_cdr_blocks = [
             self.allocate_device_blocks(1) for _ in range(self.CDR_BLOCKS)
+        ]
+
+        self._send_cdr_prefixes = [
+            self.send_cdr_blocks[:n] for n in range(1, self.CDR_BLOCKS + 1)
+        ]
+        self._recv_cdr_prefixes = [
+            self.recv_cdr_blocks[:n] for n in range(1, self.CDR_BLOCKS + 1)
         ]
 
         # Uncached status/control registers.
@@ -70,7 +84,7 @@ class CNI4(AbstractNI):
         # Functional device state.
         self._send_pending: Optional[NetworkMessage] = None
         self._send_cdr_busy = False
-        self._recv_buffer: List[NetworkMessage] = []
+        self._recv_buffer: "deque[NetworkMessage]" = deque()
         self._exposed_message: Optional[NetworkMessage] = None
         self._exposed_popped = True  # nothing exposed yet
 
@@ -103,9 +117,9 @@ class CNI4(AbstractNI):
             return False
         # 2. Write the message into the send CDRs, a whole block at a time,
         #    copying the data out of the user buffer.
-        for addr in self.send_cdr_blocks[: self.blocks_for(message)]:
+        for addr in self._send_cdr_prefixes[self.blocks_for(message) - 1]:
             yield from proc.write_block(addr)
-            yield Delay(self.params.block_copy_cycles)
+            yield self.params.block_copy_cycles
         message.send_time = self.sim.now
         self._send_pending = message
         self._send_cdr_busy = True
@@ -121,16 +135,16 @@ class CNI4(AbstractNI):
         # 1. Poll the uncached receive-status register (28 cycles on the
         #    memory bus every time — the cost CDR-only designs cannot avoid).
         yield from self.uncached_load(self.recv_status_reg)
-        self.stats.add("polls")
+        self._counts["polls"] += 1
         message = self._exposed_message
         if message is None:
-            self.stats.add("empty_polls")
+            self._counts["empty_polls"] += 1
             return None
         # 2. Read the message out of the receive CDRs (cache-to-cache
         #    transfers from the device cache) and copy it to the user buffer.
-        for addr in self.recv_cdr_blocks[: self.blocks_for(message)]:
+        for addr in self._recv_cdr_prefixes[self.blocks_for(message) - 1]:
             yield from proc.read_block(addr)
-            yield Delay(self.params.block_copy_cycles)
+            yield self.params.block_copy_cycles
         # 3. Explicit pop: the three-cycle handshake of Section 2.1.
         yield from self.uncached_store(self.recv_pop_reg)
         yield from self.memory_barrier()
@@ -152,9 +166,9 @@ class CNI4(AbstractNI):
             # cut-through: the message starts down the wire after the first
             # block; the remaining blocks stream behind it (but the CDRs are
             # not free for reuse until the whole pull has finished).
-            blocks = self.send_cdr_blocks[: self.blocks_for(message)]
+            blocks = self._send_cdr_prefixes[self.blocks_for(message) - 1]
             yield from self.device_cache.read_block(blocks[0])
-            yield Delay(DEVICE_PROCESSING_CYCLES)
+            yield DEVICE_PROCESSING_CYCLES
             self._inject(message)
             for addr in blocks[1:]:
                 yield from self.device_cache.read_block(addr)
@@ -167,8 +181,8 @@ class CNI4(AbstractNI):
         while True:
             # Accept arrivals into the device buffer while there is room.
             if self._net_in and len(self._recv_buffer) < self.recv_buffer_messages:
-                message = self._net_in.pop(0)
-                yield Delay(DEVICE_PROCESSING_CYCLES)
+                message = self._net_in.popleft()
+                yield DEVICE_PROCESSING_CYCLES
                 self._recv_buffer.append(message)
                 self.stats.add("messages_accepted")
                 self._ack(message)
@@ -177,12 +191,12 @@ class CNI4(AbstractNI):
             # Expose the next buffered message through the receive CDRs once
             # the previous one has been explicitly popped.
             if self._recv_buffer and self._exposed_popped:
-                message = self._recv_buffer.pop(0)
+                message = self._recv_buffer.popleft()
                 # Writing the CDR blocks invalidates the processor's stale
                 # copies — the device side of the reuse handshake.
-                for addr in self.recv_cdr_blocks[: self.blocks_for(message)]:
+                for addr in self._recv_cdr_prefixes[self.blocks_for(message) - 1]:
                     yield from self.device_cache.write_block_full(addr)
-                yield Delay(DEVICE_PROCESSING_CYCLES)
+                yield DEVICE_PROCESSING_CYCLES
                 self._exposed_message = message
                 self._exposed_popped = False
                 self._recv_drained_signal.fire()

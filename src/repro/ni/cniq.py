@@ -28,7 +28,7 @@ from repro.coherence.cache import CoherentCache
 from repro.common.types import AgentKind, NetworkMessage
 from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
 from repro.ni.cq import CachableQueue
-from repro.sim import Delay, Signal
+from repro.sim import Signal
 
 
 class CoherentQueueNI(AbstractNI):
@@ -154,7 +154,7 @@ class CoherentQueueNI(AbstractNI):
         slot = sq.tail_index()
         for addr in sq.entry_block_addrs(slot, self.blocks_for(message)):
             yield from proc.write_block(addr)
-            yield Delay(self.params.block_copy_cycles)
+            yield self.params.block_copy_cycles
         message.send_time = self.sim.now
         sq.enqueue(message)
         # 3. Bump the private tail pointer (cache hit).
@@ -172,17 +172,17 @@ class CoherentQueueNI(AbstractNI):
         #    while the queue is empty, misses when the device wrote a new
         #    message (the write invalidated our copy).
         yield from proc.read_block(rq.valid_word_addr(slot))
-        self.stats.add("polls")
+        self._counts["polls"] += 1
         message = rq.peek()
         if message is None:
-            self.stats.add("empty_polls")
+            self._counts["empty_polls"] += 1
             return None
         # 2. Read the rest of the message blocks, copying each into the
         #    user-level buffer.
-        yield Delay(self.params.block_copy_cycles)
+        yield self.params.block_copy_cycles
         for addr in rq.entry_block_addrs(slot, self.blocks_for(message))[1:]:
             yield from proc.read_block(addr)
-            yield Delay(self.params.block_copy_cycles)
+            yield self.params.block_copy_cycles
         rq.dequeue()
         # 3. Advance the head pointer (receiver-private block, usually a hit).
         yield from proc.write_block(rq.head_ptr_addr)
@@ -207,7 +207,7 @@ class CoherentQueueNI(AbstractNI):
             # starts down the wire and the remaining blocks stream behind it.
             blocks = sq.entry_block_addrs(slot, self.blocks_for(message))
             yield from self.send_cache.read_block(blocks[0])
-            yield Delay(DEVICE_PROCESSING_CYCLES)
+            yield DEVICE_PROCESSING_CYCLES
             self._inject(message)
             for addr in blocks[1:]:
                 yield from self.send_cache.read_block(addr)
@@ -234,7 +234,7 @@ class CoherentQueueNI(AbstractNI):
                     self.stats.add("recv_queue_full_stalls")
                     yield self._recv_head_advanced
                     continue
-            message = self._net_in.pop(0)
+            message = self._net_in.popleft()
             slot = rq.tail_index()
             blocks = rq.entry_block_addrs(slot, self.blocks_for(message))
             # Write the message body first, then commit the valid word by
@@ -242,7 +242,7 @@ class CoherentQueueNI(AbstractNI):
             for addr in blocks:
                 yield from self.recv_cache.write_block_full(addr)
             yield from self.recv_cache.write_block(blocks[0])
-            yield Delay(DEVICE_PROCESSING_CYCLES)
+            yield DEVICE_PROCESSING_CYCLES
             rq.enqueue(message)
             self.stats.add("messages_accepted")
             self._ack(message)

@@ -80,6 +80,16 @@ class CachableQueue:
         self.tail_ptr_addr = tail_ptr_addr
 
         self.entries: List[QueueEntry] = [QueueEntry() for _ in range(self.capacity)]
+        # Per-slot block-address prefixes, precomputed so the per-message
+        # entry_block_addrs lookup allocates nothing.  The returned lists are
+        # shared: callers iterate them, never mutate.
+        self._entry_addr_prefixes: List[List[List[int]]] = []
+        for slot in range(self.capacity):
+            base = base_addr + slot * blocks_per_entry * block_bytes
+            addrs = [base + i * block_bytes for i in range(blocks_per_entry)]
+            self._entry_addr_prefixes.append(
+                [addrs[:n] for n in range(1, blocks_per_entry + 1)]
+            )
         #: Monotonic number of messages ever enqueued (sender-owned).
         self.tail_count = 0
         #: Monotonic number of messages ever dequeued (receiver-owned).
@@ -176,14 +186,18 @@ class CachableQueue:
         return self.base_addr + slot * self.blocks_per_entry * self.block_bytes
 
     def entry_block_addrs(self, slot: int, num_blocks: Optional[int] = None) -> List[int]:
-        """Block addresses of an entry (optionally only its first blocks)."""
+        """Block addresses of an entry (optionally only its first blocks).
+
+        Returns a precomputed shared list; callers must not mutate it.
+        """
         count = self.blocks_per_entry if num_blocks is None else num_blocks
         if not 1 <= count <= self.blocks_per_entry:
             raise QueueError(
                 f"{self.name}: entry spans {self.blocks_per_entry} blocks, asked for {count}"
             )
-        base = self.entry_base_addr(slot)
-        return [base + i * self.block_bytes for i in range(count)]
+        if not 0 <= slot < self.capacity:
+            raise QueueError(f"{self.name}: slot {slot} out of range")
+        return self._entry_addr_prefixes[slot][count - 1]
 
     def valid_word_addr(self, slot: int) -> int:
         """Address of the block holding the entry's valid/sense word."""

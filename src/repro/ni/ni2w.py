@@ -17,11 +17,12 @@ software flow-control buffering the paper describes.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Optional
 
 from repro.common.types import NetworkMessage
 from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
-from repro.sim import Delay, Signal
+from repro.sim import Signal
 
 
 class NI2w(AbstractNI):
@@ -45,8 +46,9 @@ class NI2w(AbstractNI):
         self.recv_status_reg = self.allocate_uncached_register()
         self.recv_data_reg = self.allocate_uncached_register()
 
-        self._send_fifo: List[NetworkMessage] = []
-        self._recv_fifo: List[NetworkMessage] = []
+        self._send_fifo: "deque[NetworkMessage]" = deque()
+        self._recv_fifo: "deque[NetworkMessage]" = deque()
+        self._word_cycles = self.params.uncached_word_processing_cycles
         self._send_fifo_signal = Signal(self.sim, name=f"{self.name}.send-fifo")
         self._recv_space_signal = Signal(self.sim, name=f"{self.name}.recv-space")
 
@@ -64,7 +66,7 @@ class NI2w(AbstractNI):
         #    (each word also costs the user-buffer load and loop overhead).
         for _ in range(self.words_for(message)):
             yield from self.uncached_store(self.send_data_reg)
-            yield Delay(self.params.uncached_word_processing_cycles)
+            yield self._word_cycles
         message.send_time = self.sim.now
         self._send_fifo.append(message)
         self.stats.add("messages_sent")
@@ -75,16 +77,16 @@ class NI2w(AbstractNI):
         """Uncached-load receive path (returns a message or None)."""
         # 1. Poll the receive-status register.
         yield from self.uncached_load(self.recv_status_reg)
-        self.stats.add("polls")
+        self._counts["polls"] += 1
         if not self._recv_fifo:
-            self.stats.add("empty_polls")
+            self._counts["empty_polls"] += 1
             return None
         # 2. Read the message out of the hardware FIFO (implicit pop), one
         #    uncached double-word load at a time plus the user-buffer store.
-        message = self._recv_fifo.pop(0)
+        message = self._recv_fifo.popleft()
         for _ in range(self.words_for(message)):
             yield from self.uncached_load(self.recv_data_reg)
-            yield Delay(self.params.uncached_word_processing_cycles)
+            yield self._word_cycles
         self.stats.add("messages_received")
         self._recv_space_signal.fire()
         return message
@@ -99,8 +101,8 @@ class NI2w(AbstractNI):
                 continue
             message = self._send_fifo[0]
             yield from self._wait_for_window(message.dest)
-            yield Delay(DEVICE_PROCESSING_CYCLES)
-            self._send_fifo.pop(0)
+            yield DEVICE_PROCESSING_CYCLES
+            self._send_fifo.popleft()
             self._inject(message)
             # Removing the message frees FIFO space for the processor.
             self._send_fifo_signal.fire()
@@ -116,8 +118,8 @@ class NI2w(AbstractNI):
                 self.stats.add("recv_fifo_full_stalls")
                 yield self._recv_space_signal
                 continue
-            message = self._net_in.pop(0)
-            yield Delay(DEVICE_PROCESSING_CYCLES)
+            message = self._net_in.popleft()
+            yield DEVICE_PROCESSING_CYCLES
             self._recv_fifo.append(message)
             self.stats.add("messages_accepted")
             self._ack(message)

@@ -60,6 +60,8 @@ class Machine:
         for layer in self.messaging:
             layer.num_nodes = len(self.nodes)
         self._started = False
+        #: Kernel-throughput dict of the last ``run_programs(profile=True)``.
+        self.last_profile: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -127,12 +129,17 @@ class Machine:
         self,
         programs: Union[Sequence[Generator], Dict[int, Generator]],
         max_cycles: Optional[int] = None,
+        profile: bool = False,
     ) -> int:
         """Run one workload program per node and return the completion time.
 
         ``programs`` is either a sequence with one generator per node or a
         mapping from node id to generator (nodes without a program idle).
         Raises :class:`WorkloadHangError` if the programs do not all finish.
+
+        With ``profile=True`` the run goes through
+        :meth:`~repro.sim.Simulator.run_profile` and the kernel-throughput
+        dict is stored on :attr:`last_profile`.
         """
         self.start()
         if isinstance(programs, dict):
@@ -147,7 +154,11 @@ class Machine:
             self.nodes[node_id].processor.run_program(program, name=f"workload-cpu{node_id}")
             for node_id, program in items
         ]
-        end_time = self.sim.run(until=max_cycles)
+        if profile:
+            self.last_profile = self.sim.run_profile(until=max_cycles)
+            end_time = int(self.last_profile["end_time"])
+        else:
+            end_time = self.sim.run(until=max_cycles)
         unfinished = [p.name for p in processes if not p.finished]
         if unfinished:
             raise WorkloadHangError(

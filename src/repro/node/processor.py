@@ -13,7 +13,8 @@ from typing import Callable, Generator, Optional
 
 from repro.coherence.cache import CoherentCache
 from repro.common.params import MachineParams
-from repro.sim import Counter, Delay, Process, Simulator, start_process
+from repro.sim import Counter, Process, Simulator, start_process
+from repro.sim.engine import _as_cycles
 
 
 class Processor:
@@ -31,6 +32,7 @@ class Processor:
         self.cache = cache
         self.params = params
         self.stats = Counter()
+        self._counts = self.stats.raw
         self._program_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
@@ -54,18 +56,24 @@ class Processor:
     # Cost-model primitives (generators)
     # ------------------------------------------------------------------
     def compute(self, cycles: int):
-        """Spend ``cycles`` of pure computation."""
-        self.stats.add("compute_cycles", int(cycles))
-        yield Delay(int(cycles))
+        """Spend ``cycles`` of pure computation.
+
+        ``cycles`` must be a whole number: fractional values raise
+        :class:`~repro.sim.SimulationError` instead of being truncated.
+        """
+        if type(cycles) is not int:
+            cycles = _as_cycles(cycles, what="compute cycles")
+        self._counts["compute_cycles"] += cycles
+        yield cycles
 
     def touch_read(self, address: int, size: int):
         """Read ``size`` bytes of cachable data (workload memory traffic)."""
-        self.stats.add("data_reads")
+        self._counts["data_reads"] += 1
         yield from self.cache.read(address, size)
 
     def touch_write(self, address: int, size: int):
         """Write ``size`` bytes of cachable data (workload memory traffic)."""
-        self.stats.add("data_writes")
+        self._counts["data_writes"] += 1
         yield from self.cache.write(address, size)
 
     def __repr__(self) -> str:

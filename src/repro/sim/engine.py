@@ -1,40 +1,79 @@
 """Discrete-event simulation engine.
 
 The engine is a small, dependency-free kernel in the spirit of SimPy.  Time
-is an integer number of processor cycles.  Components schedule callbacks on a
-binary-heap event queue; higher-level code usually uses generator-based
-processes (see :mod:`repro.sim.process`) instead of raw callbacks.
+is an integer number of processor cycles.  Components schedule callbacks on
+the event queue; higher-level code usually uses generator-based processes
+(see :mod:`repro.sim.process`) instead of raw callbacks.
+
+Internally the kernel keeps two scheduling structures:
+
+* a binary heap of ``(time, seq, event)`` tuples for future events — tuple
+  entries keep heap comparisons in C (``seq`` is unique, so the event object
+  itself is never compared), and
+* a same-cycle FIFO *lane* (a deque) for events scheduled with zero delay.
+  Zero-delay events dominate process execution (resource grants, signal
+  wake-ups, process starts), and the lane turns each of them into an O(1)
+  append/popleft instead of two O(log n) heap operations.
+
+The two structures are merged by ``(time, seq)`` when events are popped, so
+the execution order is exactly the order a single global heap would produce.
+Event records are slotted objects recycled through a free pool; only events
+whose handle escapes through the public :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` API are exempt from recycling, which keeps
+:meth:`Simulator.cancel` safe on stale handles.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, Optional
+import time as _time
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
 
 
-class _ScheduledEvent:
-    """A single entry in the event queue.
+#: Upper bound on the event free pool (events beyond this are left to GC).
+_POOL_MAX = 8192
 
-    Cancellation is implemented by flagging the entry rather than removing it
-    from the heap, which keeps :meth:`Simulator.cancel` O(1).
+
+def _as_cycles(value: Any, what: str = "delay") -> int:
+    """Coerce a delay/timestamp to int cycles, rejecting fractional values.
+
+    A float such as ``0.5`` used to be silently truncated to ``0`` by
+    ``int()``; that turns a half-cycle delay into "immediately", which is
+    never what the caller meant.  Integral floats (``2.0``) are accepted.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SimulationError(f"{what} must be an integer number of cycles, got {value!r}")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise SimulationError(
+                f"{what} must be a whole number of cycles, got {value!r} "
+                "(fractional delays are not representable; round explicitly)"
+            )
+        return int(value)
+    return value
+
+
+class _ScheduledEvent:
+    """A single event record (pooled; see module docstring).
+
+    Cancellation is implemented by flagging the record rather than removing
+    it from its queue, which keeps :meth:`Simulator.cancel` O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "recyclable")
 
-    def __init__(self, time: int, seq: int, callback: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
+    def __init__(self) -> None:
+        self.time = 0
+        self.seq = 0
+        self.callback: Optional[Callable] = None
+        self.args: tuple = ()
         self.cancelled = False
-
-    def __lt__(self, other: "_ScheduledEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        self.recyclable = False
 
 
 class Simulator:
@@ -43,63 +82,166 @@ class Simulator:
     The public surface is deliberately small:
 
     * :meth:`schedule` / :meth:`cancel` for raw callbacks,
-    * :meth:`run` to drain the event queue,
+    * :meth:`schedule_call` — the allocation-light fast path used by the
+      process layer and other kernel clients (no handle, not cancellable),
+    * :meth:`run` to drain the event queue, :meth:`run_profile` to drain it
+      while measuring kernel throughput,
     * :attr:`now` for the current simulated time.
 
     Processes are layered on top in :mod:`repro.sim.process`.
     """
 
     def __init__(self) -> None:
-        self._queue: list[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._queue: list = []  # heap of (time, seq, event)
+        self._lane: deque = deque()  # same-cycle FIFO lane
+        self._free: list = []  # event free pool
+        self._seq = 0
         self._now = 0
         self._running = False
         self.event_count = 0
+        # Kernel statistics (reported by run_profile): events executed from
+        # the same-cycle lane vs. the heap, and event-pool reuses.
+        self.lane_executed = 0
+        self.heap_executed = 0
+        self.pool_reuses = 0
 
     @property
     def now(self) -> int:
         """Current simulated time in processor cycles."""
         return self._now
 
+    # ------------------------------------------------------------------
+    # Event allocation
+    # ------------------------------------------------------------------
+    def _new_event(self) -> _ScheduledEvent:
+        free = self._free
+        if free:
+            self.pool_reuses += 1
+            event = free.pop()
+            event.cancelled = False
+            return event
+        return _ScheduledEvent()
+
+    def _enqueue(self, delay: int, event: _ScheduledEvent) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        if delay == 0:
+            event.time = self._now
+            self._lane.append(event)
+        else:
+            at = self._now + delay
+            event.time = at
+            heappush(self._queue, (at, seq, event))
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable, *args: Any) -> _ScheduledEvent:
-        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now.
+
+        Returns a handle accepted by :meth:`cancel`.  ``delay`` must be a
+        non-negative whole number of cycles; fractional delays raise
+        :class:`SimulationError` instead of being truncated.
+        """
+        if type(delay) is not int:
+            delay = _as_cycles(delay)
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = _ScheduledEvent(self._now + int(delay), next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        event = self._new_event()
+        event.callback = callback
+        event.args = args
+        event.recyclable = False  # the handle escapes; never recycle it
+        self._enqueue(delay, event)
         return event
 
     def schedule_at(self, time: int, callback: Callable, *args: Any) -> _ScheduledEvent:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if type(time) is not int:
+            time = _as_cycles(time, what="absolute time")
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time}, current time is {self._now}")
-        event = _ScheduledEvent(int(time), next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
-        return event
+        return self.schedule(time - self._now, callback, *args)
+
+    def schedule_call(self, delay: int, callback: Callable, args: tuple = ()) -> None:
+        """Fast-path scheduling for trusted kernel clients.
+
+        ``delay`` must already be a non-negative ``int`` and ``args`` a
+        pre-built tuple.  No handle is returned: the event record is pooled
+        and recycled the moment it runs, so it must not be cancelled.  The
+        process layer, the network fabric and the bus schedule through this
+        entry point; user code should prefer :meth:`schedule`.
+        """
+        # Body is _new_event() + _enqueue() inlined: this runs once per
+        # kernel event and the two extra frames are measurable.  Events in
+        # the free pool always have recyclable=True and cancelled=False, so
+        # neither flag needs rewriting on reuse.
+        free = self._free
+        if free:
+            self.pool_reuses += 1
+            event = free.pop()
+        else:
+            event = _ScheduledEvent()
+            event.recyclable = True
+        event.callback = callback
+        event.args = args
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        if delay == 0:
+            event.time = self._now
+            self._lane.append(event)
+        else:
+            at = self._now + delay
+            event.time = at
+            heappush(self._queue, (at, seq, event))
 
     def cancel(self, event: _ScheduledEvent) -> None:
         """Cancel a previously scheduled event (no-op if already run)."""
         event.cancelled = True
 
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _skim_cancelled(self) -> None:
+        """Drop cancelled events from the heads of both queues."""
+        queue = self._queue
+        lane = self._lane
+        free = self._free
+        while queue and queue[0][2].cancelled:
+            event = heappop(queue)[2]
+            if event.recyclable and len(free) < _POOL_MAX:
+                event.callback = None
+                event.args = ()
+                event.cancelled = False
+                free.append(event)
+        while lane and lane[0].cancelled:
+            event = lane.popleft()
+            if event.recyclable and len(free) < _POOL_MAX:
+                event.callback = None
+                event.args = ()
+                event.cancelled = False
+                free.append(event)
+
     def peek(self) -> Optional[int]:
         """Return the time of the next pending event, or ``None`` if idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        self._skim_cancelled()
+        queue = self._queue
+        lane = self._lane
+        if lane:
+            if queue:
+                top = queue[0]
+                head = lane[0]
+                if top[0] < head.time or (top[0] == head.time and top[1] < head.seq):
+                    return top[0]
+            return lane[0].time
+        if queue:
+            return queue[0][0]
+        return None
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.event_count += 1
-            event.callback(*event.args)
-            return True
-        return False
+        return self._drain(None, 1) == 1
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or
@@ -107,19 +249,123 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        executed = 0
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                self.step()
-                executed += 1
+            self._drain(until, max_events)
         finally:
             self._running = False
         return self._now
+
+    def _drain(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """Execute pending events in (time, seq) order; returns the count.
+
+        ``event_count`` is accumulated locally and flushed in the ``finally``
+        (so it stays correct when a callback raises), saving one attribute
+        store per event on the hottest loop in the simulator.
+        """
+        queue = self._queue
+        lane = self._lane
+        free = self._free
+        time_limit = until if until is not None else float("inf")
+        event_limit = max_events if max_events is not None else float("inf")
+        executed = 0
+        heap_executed = 0
+        try:
+            while True:
+                # --- select the next live event across lane and heap ------
+                if lane:
+                    head = lane[0]
+                    if head.cancelled:
+                        lane.popleft()
+                        if head.recyclable and len(free) < _POOL_MAX:
+                            head.callback = None
+                            head.args = ()
+                            head.cancelled = False
+                            free.append(head)
+                        continue
+                    if queue:
+                        top = queue[0]
+                        if top[0] < head.time or (top[0] == head.time and top[1] < head.seq):
+                            event = top[2]
+                            from_heap = True
+                        else:
+                            event = head
+                            from_heap = False
+                    else:
+                        event = head
+                        from_heap = False
+                elif queue:
+                    event = queue[0][2]
+                    from_heap = True
+                else:
+                    break
+                if from_heap and event.cancelled:
+                    heappop(queue)
+                    if event.recyclable and len(free) < _POOL_MAX:
+                        event.callback = None
+                        event.args = ()
+                        event.cancelled = False
+                        free.append(event)
+                    continue
+                # --- limits -----------------------------------------------
+                if event.time > time_limit:
+                    self._now = until
+                    break
+                if executed >= event_limit:
+                    break
+                # --- execute ----------------------------------------------
+                if from_heap:
+                    heappop(queue)
+                    heap_executed += 1
+                else:
+                    lane.popleft()
+                self._now = event.time
+                executed += 1
+                callback = event.callback
+                args = event.args
+                if event.recyclable:
+                    # No per-event pool-cap check or reference nulling here:
+                    # the pool can never exceed the peak number of
+                    # simultaneously queued events (each recycle is preceded
+                    # by a pop), and stale callback/args refs live only
+                    # until the record is reused.  The cap is enforced once
+                    # per drain, below.
+                    free.append(event)
+                callback(*args)
+        finally:
+            self.event_count += executed
+            self.heap_executed += heap_executed
+            self.lane_executed += executed - heap_executed
+            if len(free) > _POOL_MAX:
+                del free[_POOL_MAX:]
+        return executed
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def run_profile(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Run like :meth:`run` while measuring kernel throughput.
+
+        Returns a dict with the simulated ``end_time``, the number of
+        ``events`` executed, wall-clock ``wall_s``, the resulting
+        ``events_per_sec``, and scheduling-structure statistics for the
+        interval (``lane_events``, ``heap_events``, ``pool_reuses``).
+        """
+        events_before = self.event_count
+        lane_before = self.lane_executed
+        heap_before = self.heap_executed
+        pool_before = self.pool_reuses
+        start = _time.perf_counter()
+        end_time = self.run(until=until, max_events=max_events)
+        wall_s = _time.perf_counter() - start
+        events = self.event_count - events_before
+        return {
+            "end_time": float(end_time),
+            "events": float(events),
+            "wall_s": wall_s,
+            "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+            "lane_events": float(self.lane_executed - lane_before),
+            "heap_events": float(self.heap_executed - heap_before),
+            "pool_reuses": float(self.pool_reuses - pool_before),
+        }

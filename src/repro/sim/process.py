@@ -4,21 +4,34 @@ A :class:`Process` wraps a Python generator.  The generator ``yield``s
 commands that describe what to wait for; the kernel resumes the generator
 when the condition is satisfied:
 
-* ``yield Delay(n)`` (or ``yield n``) — wait ``n`` cycles,
-* ``yield Acquire(resource)`` — wait for FIFO ownership of a resource,
-* ``yield Wait(signal)`` — wait for a one-shot/broadcast signal; the value
-  sent back into the generator is the signal payload,
+* ``yield n`` (a plain non-negative ``int``) or ``yield Delay(n)`` — wait
+  ``n`` cycles.  The bare-int form is the fast path: it allocates nothing
+  and resumes through the kernel's same-cycle lane or heap directly,
+* ``yield resource`` (a :class:`Resource`) or ``yield Acquire(resource)`` —
+  wait for FIFO ownership of a resource; the value sent back is the
+  resource,
+* ``yield signal`` (a :class:`Signal`) or ``yield Wait(signal)`` — wait for
+  a one-shot/broadcast signal; the value sent back is the signal payload,
 * ``yield Join(process)`` — wait for another process to finish; the value
   sent back is that process's return value.
 
-Sub-generators compose with plain ``yield from``.
+Sub-generators compose with plain ``yield from``.  Every resumption is one
+scheduled kernel event, so ``Simulator.event_count`` is a stable measure of
+process activity regardless of which yield form clients use.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Generator, Optional
 
-from repro.sim.engine import SimulationError, Simulator
+from heapq import heappush as _heappush
+
+from repro.sim.engine import SimulationError, Simulator, _as_cycles, _ScheduledEvent
+
+#: Shared argument tuple for the overwhelmingly common "resume with None"
+#: case (plain delays), so the hot path allocates no per-event tuple.
+_NONE_ARGS = (None,)
 
 
 class Delay:
@@ -27,9 +40,11 @@ class Delay:
     __slots__ = ("cycles",)
 
     def __init__(self, cycles: int):
+        if type(cycles) is not int:
+            cycles = _as_cycles(cycles)
         if cycles < 0:
             raise SimulationError(f"negative delay: {cycles}")
-        self.cycles = int(cycles)
+        self.cycles = cycles
 
     def __repr__(self) -> str:
         return f"Delay({self.cycles})"
@@ -72,7 +87,7 @@ class Signal:
     def __init__(self, sim: Simulator, name: str = "signal"):
         self._sim = sim
         self.name = name
-        self._waiters: list[Process] = []
+        self._waiters: list = []
         self.fire_count = 0
         self.last_payload: Any = None
 
@@ -80,9 +95,14 @@ class Signal:
         """Wake all current waiters, delivering ``payload`` to each."""
         self.fire_count += 1
         self.last_payload = payload
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        schedule_call = self._sim.schedule_call
+        args = _NONE_ARGS if payload is None else (payload,)
         for process in waiters:
-            self._sim.schedule(0, process._resume, payload)
+            schedule_call(0, process._resume, args)
 
     def _add_waiter(self, process: "Process") -> None:
         self._waiters.append(process)
@@ -96,7 +116,8 @@ class Resource:
     """A FIFO resource with integer capacity (default 1, i.e. a mutex).
 
     Used to model buses: a bus transaction acquires the bus, holds it for the
-    occupancy period, then releases it.
+    occupancy period, then releases it.  The wait queue is a deque, so both
+    enqueueing a waiter and granting the next one are O(1).
     """
 
     def __init__(self, sim: Simulator, name: str = "resource", capacity: int = 1):
@@ -106,7 +127,8 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self._in_use = 0
-        self._wait_queue: list[Process] = []
+        self._wait_queue: deque = deque()
+        self._grant_args = (self,)  # reused for every grant event
         # Statistics
         self.total_acquisitions = 0
         self.busy_cycles = 0
@@ -131,7 +153,7 @@ class Resource:
         self.total_acquisitions += 1
         if self._in_use == 1:
             self._last_acquire_time = self._sim.now
-        self._sim.schedule(0, process._resume, self)
+        self._sim.schedule_call(0, process._resume, self._grant_args)
 
     def release(self) -> None:
         """Release one unit of the resource (called directly, not yielded)."""
@@ -142,7 +164,7 @@ class Resource:
             self.busy_cycles += self._sim.now - self._last_acquire_time
             self._last_acquire_time = None
         if self._wait_queue and self._in_use < self.capacity:
-            self._grant(self._wait_queue.pop(0))
+            self._grant(self._wait_queue.popleft())
 
     def try_acquire_now(self) -> bool:
         """Immediately acquire the resource if free (used for NACK modelling).
@@ -169,16 +191,22 @@ class Process:
         self.pid = Process._ids
         self.name = name or f"process-{self.pid}"
         self._sim = sim
+        self._schedule_call = sim.schedule_call
         self._gen = generator
+        self._send = generator.send
+        # Prebind the bound method once: every wake-up site (delays, signal
+        # fires, resource grants) would otherwise materialise a fresh bound
+        # method per event.
+        self._resume = self._resume
         self.finished = False
         self.result: Any = None
         self.exception: Optional[BaseException] = None
-        self._completion_waiters: list[Process] = []
+        self._completion_waiters: list = []
         self.started_at = sim.now
         self.finished_at: Optional[int] = None
         # Kick off on the next event boundary so construction never runs user
         # code synchronously.
-        sim.schedule(0, self._resume, None)
+        sim.schedule_call(0, self._resume, _NONE_ARGS)
 
     def __repr__(self) -> str:
         state = "finished" if self.finished else "running"
@@ -188,33 +216,86 @@ class Process:
         if self.finished:
             return
         try:
-            command = self._gen.send(value)
+            command = self._send(value)
         except StopIteration as stop:
-            self._finish(getattr(stop, "value", None))
+            self._finish(stop.value)
             return
         except BaseException as exc:  # surface errors loudly
             self.exception = exc
             self._finish(None)
             raise
-        self._dispatch(command)
+        # Inline dispatch for the hot commands, most frequent first; exact
+        # type checks keep this a couple of dictionary lookups per event.
+        # Subclasses and anything unusual fall through to _dispatch.
+        cls = command.__class__
+        if cls is int or cls is Delay:
+            if cls is int:
+                if command < 0:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded a negative delay: {command}"
+                    )
+                delay = command
+            else:
+                delay = command.cycles
+            # Inlined Simulator.schedule_call: this is the hottest statement
+            # in the whole simulator, so it reaches into the kernel's pool
+            # and queues directly rather than paying another call frame.
+            sim = self._sim
+            free = sim._free
+            if free:
+                sim.pool_reuses += 1
+                event = free.pop()
+            else:
+                event = _ScheduledEvent()
+                event.recyclable = True
+            event.callback = self._resume
+            event.args = _NONE_ARGS
+            seq = sim._seq
+            sim._seq = seq + 1
+            event.seq = seq
+            if delay == 0:
+                event.time = sim._now
+                sim._lane.append(event)
+            else:
+                at = sim._now + delay
+                event.time = at
+                _heappush(sim._queue, (at, seq, event))
+        elif cls is Resource:
+            command._request(self)
+        elif cls is Signal:
+            command._waiters.append(self)
+        elif cls is Acquire:
+            command.resource._request(self)
+        elif cls is Wait:
+            command.signal._waiters.append(self)
+        else:
+            self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
-        if isinstance(command, Delay):
-            self._sim.schedule(command.cycles, self._resume, None)
+        """Slow-path dispatch: floats, Join, subclasses, and errors."""
+        if isinstance(command, Join):
+            target = command.process
+            if target.finished:
+                self._sim.schedule_call(0, self._resume, (target.result,))
+            else:
+                target._completion_waiters.append(self)
         elif isinstance(command, (int, float)):
-            self._sim.schedule(int(command), self._resume, None)
+            cycles = _as_cycles(command)
+            if cycles < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {command}"
+                )
+            self._sim.schedule_call(cycles, self._resume, _NONE_ARGS)
+        elif isinstance(command, Delay):
+            self._sim.schedule_call(command.cycles, self._resume, _NONE_ARGS)
         elif isinstance(command, Wait):
             command.signal._add_waiter(self)
         elif isinstance(command, Acquire):
             command.resource._request(self)
-        elif isinstance(command, Join):
-            target = command.process
-            if target.finished:
-                self._sim.schedule(0, self._resume, target.result)
-            else:
-                target._completion_waiters.append(self)
         elif isinstance(command, Signal):
             command._add_waiter(self)
+        elif isinstance(command, Resource):
+            command._request(self)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded an unsupported command: {command!r}"
@@ -224,9 +305,13 @@ class Process:
         self.finished = True
         self.result = result
         self.finished_at = self._sim.now
-        waiters, self._completion_waiters = self._completion_waiters, []
+        waiters = self._completion_waiters
+        if not waiters:
+            return
+        self._completion_waiters = []
+        args = (result,)
         for waiter in waiters:
-            self._sim.schedule(0, waiter._resume, result)
+            self._sim.schedule_call(0, waiter._resume, args)
 
 
 def start_process(sim: Simulator, generator: Generator, name: str = "") -> Process:

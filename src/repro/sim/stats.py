@@ -16,6 +16,12 @@ class Counter:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] += amount
 
+    @property
+    def raw(self) -> Dict[str, int]:
+        """The underlying defaultdict, for hot paths that cannot afford a
+        method call per increment.  Mutate with ``raw[key] += n`` only."""
+        return self._counts
+
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 

@@ -461,3 +461,89 @@ class TestCli:
                          "--no-cache"]) == 0
         assert "occupancy" in capsys.readouterr().out.lower()
         assert not os.path.exists(tmp_path / ".repro-cache")
+
+
+class TestEngineKind:
+    """The kind="engine" points that track kernel throughput."""
+
+    def test_engine_spec_requires_workload(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(kind="engine").validate()
+
+    def test_engine_spec_validates_with_workload(self):
+        spec = ExperimentSpec(kind="engine", workload="moldyn", scale=0.25)
+        assert spec.validate() is spec
+        assert "moldyn" in spec.describe()
+
+    def test_engine_sweep_builds_engine_points(self):
+        from repro.api import engine_sweep
+
+        sweep = engine_sweep(["moldyn"], [("NI2w", "memory"), ("CNI16Qm", "memory")],
+                             num_nodes=2, scale=0.1)
+        points = sweep.expand()
+        assert len(points) == 2
+        assert all(p.kind == "engine" for p in points)
+
+    def test_run_point_reports_kernel_throughput(self):
+        spec = ExperimentSpec(
+            kind="engine", workload="moldyn", device="CNI16Qm", bus="memory",
+            num_nodes=2, scale=0.1, workload_kwargs={"iterations": 1},
+        )
+        result = run_point(spec)
+        assert result.metrics["events"] > 0
+        assert result.metrics["events_per_sec"] > 0
+        assert result.metrics["cycles"] > 0
+        assert (
+            result.metrics["lane_events"] + result.metrics["heap_events"]
+            == result.metrics["events"]
+        )
+
+    def test_machine_run_programs_profile_hook(self):
+        from repro.node.machine import Machine
+
+        machine = Machine.build("CNI16Qm", "memory", num_nodes=2)
+
+        def idle():
+            yield 5
+
+        machine.run_programs({0: idle()}, max_cycles=10_000, profile=True)
+        assert machine.last_profile is not None
+        assert machine.last_profile["events"] == machine.sim.event_count
+
+    def test_engine_points_are_never_served_from_cache(self, tmp_path):
+        from repro.api import SweepRunner
+
+        spec = ExperimentSpec(
+            kind="engine", workload="moldyn", device="CNI16Qm", bus="memory",
+            num_nodes=2, scale=0.1, workload_kwargs={"iterations": 1},
+        )
+        runner = SweepRunner(cache_dir=str(tmp_path))
+        runner.run_one(spec)
+        runner.run_one(spec)
+        # Wall-clock measurements must re-run: no cache traffic at all.
+        assert runner.cache_stats() == {"hits": 0, "misses": 0}
+
+    def test_cni4_rejects_messages_larger_than_its_cdr_window(self):
+        from repro.common.params import DEFAULT_PARAMS
+        from repro.ni.base import NIError
+        from repro.node.machine import Machine
+
+        with pytest.raises(NIError, match="CDR blocks"):
+            Machine.build(
+                "CNI4", "memory", num_nodes=2,
+                params=DEFAULT_PARAMS.with_overrides(network_message_bytes=512),
+            )
+
+    def test_processor_compute_rejects_fractional_cycles(self):
+        from repro.node.machine import Machine
+        from repro.sim import SimulationError
+
+        machine = Machine.build("NI2w", "memory", num_nodes=2)
+
+        def program():
+            yield from machine.nodes[0].processor.compute(12.5)
+
+        machine.start()
+        machine.nodes[0].processor.run_program(program())
+        with pytest.raises(SimulationError):
+            machine.sim.run()

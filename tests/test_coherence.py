@@ -253,3 +253,139 @@ class TestInterconnect:
         assert ic.stats.get("txn_read_shared") == 1
         assert ic.stats.get("txn_total") == 1
         assert ic.stats.get("txn_on_memory") == 1
+
+
+class _FakeInitiator:
+    """A minimal bus initiator pinned to a particular bus."""
+
+    def __init__(self, bus_kind, name="fake"):
+        self.name = name
+        self.agent_kind = AgentKind.PROCESSOR
+        self.bus_kind = bus_kind
+
+    def is_home(self, address):
+        return False
+
+    def snoop(self, txn):
+        return None
+
+
+class TestCacheBusGuard:
+    """Regression: a cache-bus agent on a node built without a cache bus
+    used to get an *empty* resource list — transactions then ran with no
+    mutual exclusion at all.  It must raise BusError instead."""
+
+    def test_cache_bus_agent_without_cache_bus_raises(self):
+        sim, ic, _, _ = make_system()
+        assert ic.cachebus is None
+        initiator = _FakeInitiator(BusKind.CACHE)
+        gen = ic.transaction(initiator, BusOp.READ_SHARED, ADDR, 64)
+        with pytest.raises(BusError, match="no cache bus"):
+            next(gen)
+
+    def test_cache_bus_transactions_hold_the_cache_bus(self):
+        sim = Simulator()
+        params = DEFAULT_PARAMS
+        addrmap = AddressMap.for_params(params)
+        ic = NodeInterconnect(sim, params, addrmap, name="test", with_cache_bus=True)
+        MainMemory(sim, "mem", ic, params, addrmap)
+        initiator = _FakeInitiator(BusKind.CACHE)
+
+        def txn():
+            yield from ic.transaction(initiator, BusOp.READ_SHARED, ADDR, 64)
+
+        start_process(sim, txn())
+        start_process(sim, txn())
+        sim.run()
+        assert ic.cachebus.total_acquisitions == 2
+        assert ic.cachebus.in_use == 0
+        # Serialized: the two occupancies never overlapped.
+        assert ic.cachebus.busy_cycles == ic.stats.get("occupancy_cycles")
+
+
+class TestHeldReleaseExactness:
+    """Regression: the transaction's cleanup must release exactly the buses
+    it actually acquired, whatever yield point an exception arrives at."""
+
+    def _io_system(self):
+        sim, ic, memory, caches = make_system(with_io_bus=True)
+        return sim, ic
+
+    def test_exception_while_waiting_for_iobus_releases_membus(self):
+        sim, ic = self._io_system()
+        # The test holds the I/O bus, so the transaction will acquire the
+        # memory bus and then block waiting for the I/O bus.
+        assert ic.iobus.try_acquire_now()
+        gen = ic.transaction(_FakeInitiator(BusKind.IO), BusOp.READ_SHARED, ADDR, 128)
+        waiting_on = next(gen)
+        assert waiting_on is ic.iobus
+        assert ic.membus.in_use == 1  # acquired by the transaction
+        gen.close()  # exception (GeneratorExit) at the acquire point
+        # The membus the transaction held must be released...
+        assert ic.membus.in_use == 0
+        # ...and the I/O bus we hold must NOT have been released for us.
+        assert ic.iobus.in_use == 1
+
+    def test_exception_during_nack_backoff_releases_nothing(self):
+        sim, ic = self._io_system()
+        # The test holds the memory bus: the I/O-side initiator is NACKed.
+        assert ic.membus.try_acquire_now()
+        gen = ic.transaction(_FakeInitiator(BusKind.IO), BusOp.READ_SHARED, ADDR, 128)
+        backoff = next(gen)
+        from repro.coherence.bus import NACK_BACKOFF_CYCLES
+
+        assert backoff == NACK_BACKOFF_CYCLES
+        assert ic.nack_count == 1
+        # Killing the transaction during the backoff must not release the
+        # memory bus it never acquired (that would be an unheld release).
+        gen.close()
+        assert ic.membus.in_use == 1
+        assert ic.iobus.in_use == 0
+
+    def test_mid_snoop_exception_releases_exactly_held(self):
+        sim, ic, _, (c0, c1) = make_system()
+
+        class ExplodingAgent:
+            name = "exploder"
+            agent_kind = AgentKind.MEMORY
+            bus_kind = BusKind.MEMORY
+
+            def is_home(self, address):
+                return False
+
+            def snoop(self, txn):
+                raise RuntimeError("boom")
+
+        ic.attach(ExplodingAgent())
+        start_process(sim, c0.read_block(ADDR))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        # The bus the transaction held was released exactly once; the bus is
+        # immediately usable again.
+        assert ic.membus.in_use == 0
+        assert ic.iobus is None or ic.iobus.in_use == 0
+
+    def test_bus_usable_after_mid_snoop_exception(self):
+        sim, ic, _, (c0, c1) = make_system()
+
+        class ExplodeOnce:
+            name = "explode-once"
+            agent_kind = AgentKind.MEMORY
+            bus_kind = BusKind.MEMORY
+            armed = True
+
+            def is_home(self, address):
+                return False
+
+            def snoop(self, txn):
+                if self.armed:
+                    self.armed = False
+                    raise RuntimeError("boom")
+                return None
+
+        ic.attach(ExplodeOnce())
+        start_process(sim, c0.read_block(ADDR))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        run(sim, c1.read_block(ADDR))  # completes normally
+        assert c1.probe_state(ADDR).is_valid()
