@@ -13,8 +13,6 @@ and built with :meth:`Machine.from_spec`, so invalid knobs fail fast with a
 ``TaxonomyError`` instead of deep inside node assembly.
 """
 
-import pytest
-
 from _util import bandwidth_point, latency_point, single_run
 from repro.api import ExperimentSpec
 from repro.node.machine import Machine

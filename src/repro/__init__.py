@@ -7,8 +7,11 @@ The package is organised as:
 * :mod:`repro.common` — machine parameters (Table 2), address map, enums,
 * :mod:`repro.coherence` — MOESI snooping caches, buses, main memory,
 * :mod:`repro.network` — fixed-latency fabric and sliding-window flow control,
-* :mod:`repro.ni` — the five evaluated network interfaces (NI2w, CNI4,
-  CNI16Q, CNI512Q, CNI16Qm) plus the CDR/CQ mechanisms,
+* :mod:`repro.ni` — the composable network-interface kit: port primitives
+  (:mod:`repro.ni.primitives`), a generative device registry
+  (:mod:`repro.ni.registry`) that builds *any* legal taxonomy point, and
+  the five evaluated devices (NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm) as
+  pinned compositions,
 * :mod:`repro.node` — processor, node and machine assembly,
 * :mod:`repro.msglayer` — Tempest-like active-message layer,
 * :mod:`repro.apps` — the five macrobenchmark communication skeletons,
@@ -32,9 +35,16 @@ from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
 from repro.node.machine import Machine
 from repro.node.node import NodeConfig
-from repro.ni.taxonomy import EVALUATED_DEVICES, available_devices, parse_ni_name
+from repro.ni.registry import DeviceSpec
+from repro.ni.taxonomy import (
+    EVALUATED_DEVICES,
+    available_devices,
+    parse_ni_name,
+    register_device,
+    unregister_device,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MachineParams",
@@ -45,6 +55,9 @@ __all__ = [
     "EVALUATED_DEVICES",
     "parse_ni_name",
     "available_devices",
+    "register_device",
+    "unregister_device",
+    "DeviceSpec",
     "ExperimentSpec",
     "SweepSpec",
     "SweepRunner",

@@ -24,7 +24,9 @@ Typical use::
 
 from repro.api.cache import ResultCache
 from repro.api.presets import (
+    DEVICE_FAMILIES,
     bandwidth_sweep,
+    device_space_sweep,
     engine_sweep,
     latency_sweep,
     macro_sweep,
@@ -49,6 +51,8 @@ __all__ = [
     "bandwidth_sweep",
     "macro_sweep",
     "engine_sweep",
+    "device_space_sweep",
+    "DEVICE_FAMILIES",
     "speedups",
     "occupancy_reductions",
     "paper_tables",

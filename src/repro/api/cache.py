@@ -1,13 +1,18 @@
 """On-disk JSON result cache keyed by experiment-spec hash.
 
-Each cached point is one small JSON file ``<kind>-<hash>.json`` under the
+Each cached point is one small JSON file ``<kind>-<key>.json`` under the
 cache directory, so repeated figure regeneration skips the simulation
-entirely.  Corrupt or stale-schema entries are treated as misses and
-rewritten; the cache is safe to delete at any time.
+entirely.  The key mixes the spec's own hash with the device-registry
+schema version (:data:`repro.ni.registry.DEVICE_SCHEMA_VERSION`): a spec
+only *names* its device, so when the rules that assemble a device from a
+taxonomy name change, every cached sweep result silently computed under
+the old rules must stop matching.  Corrupt or stale-schema entries are
+treated as misses and rewritten; the cache is safe to delete at any time.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -15,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec
+from repro.ni.registry import DEVICE_SCHEMA_VERSION
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -36,8 +42,13 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
+    def cache_key(self, spec: ExperimentSpec) -> str:
+        """Spec hash widened with the device-registry schema version."""
+        payload = f"{spec.spec_hash()}:device-schema-{DEVICE_SCHEMA_VERSION}"
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
     def path_for(self, spec: ExperimentSpec) -> str:
-        return os.path.join(self.directory, f"{spec.kind}-{spec.spec_hash()}.json")
+        return os.path.join(self.directory, f"{spec.kind}-{self.cache_key(spec)}.json")
 
     def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
         """The cached result for ``spec``, or None on a miss."""
@@ -56,6 +67,12 @@ class ResultCache:
             # the point is re-simulated and the entry rewritten.
             self.misses += 1
             return None
+        if payload.get("device_schema_version") != DEVICE_SCHEMA_VERSION:
+            # Devices were assembled under different construction rules
+            # (belt-and-braces beside the schema-versioned cache key, for
+            # entries whose filename was produced by other means).
+            self.misses += 1
+            return None
         if result.spec.spec_hash() != spec.spec_hash():
             # Hash collision in the filename or a hand-edited entry.
             self.misses += 1
@@ -70,6 +87,7 @@ class ResultCache:
         path = self.path_for(result.spec)
         payload = result.to_dict()
         payload["repro_version"] = _repro_version()
+        payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
         # Write-rename so a crashed run never leaves a torn JSON file.
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

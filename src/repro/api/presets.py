@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.results import ResultSet
-from repro.api.spec import ExperimentSpec, SweepSpec
+from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
 
 #: The NI2w-on-the-memory-bus configuration every speedup is relative to.
 BASELINE_CONFIG: Tuple[str, str] = ("NI2w", "memory")
@@ -138,6 +138,64 @@ def engine_sweep(
                     workload_kwargs=kwargs,
                 )
             )
+    return SweepSpec.explicit(points, name=name)
+
+
+#: Device-name template per taxonomy family, used by
+#: :func:`device_space_sweep` (``{n}`` is the exposed size).
+DEVICE_FAMILIES: Dict[str, str] = {
+    "NIw": "NI{n}w",      # uncached, word-exposed (CM-5/Alewife style)
+    "NI": "NI{n}",        # uncached, block-exposed, implicit pointers
+    "NIQ": "NI{n}Q",      # uncached, explicit pointers (*T-NG style)
+    "CNI": "CNI{n}",      # cachable device registers
+    "CNIQ": "CNI{n}Q",    # device-homed cachable queues
+    "CNIQm": "CNI{n}Qm",  # memory-homed receive queues
+}
+
+
+def device_space_sweep(
+    kind: str = "bandwidth",
+    families: Sequence[str] = ("NIQ", "CNIQ"),
+    sizes: Sequence[int] = (4, 16, 64, 128, 512),
+    bus: str = "memory",
+    workload: Optional[str] = None,
+    name: str = "device_space",
+    **point_overrides: Any,
+) -> SweepSpec:
+    """A sweep across the *generative* device space of the taxonomy.
+
+    Where the figure sweeps compare the paper's five point designs, this
+    preset scales whole families — by default queue-size scaling 4 → 512
+    blocks for both the uncoherent ``NI{n}Q`` and coherent ``CNI{n}Q``
+    explicit-queue families.  ``families`` takes keys of
+    :data:`DEVICE_FAMILIES`, ``sizes`` the exposed sizes (blocks, or words
+    for ``NIw``).  Every generated name is validated against the device
+    registry when the sweep expands, so illegal points (e.g. a 6-block
+    queue) fail fast with a :class:`~repro.ni.taxonomy.TaxonomyError`.
+
+    ``kind`` selects the measurement as usual; macro sweeps need a
+    ``workload``.  Extra keyword arguments become
+    :class:`~repro.api.spec.ExperimentSpec` field overrides shared by all
+    points.
+    """
+    unknown = set(families) - set(DEVICE_FAMILIES)
+    if unknown:
+        raise SpecError(
+            f"unknown device families {sorted(unknown)}; "
+            f"choose from {sorted(DEVICE_FAMILIES)}"
+        )
+    if workload is not None:
+        point_overrides.setdefault("workload", workload)
+    points = [
+        ExperimentSpec(
+            kind=kind,
+            device=DEVICE_FAMILIES[family].format(n=size),
+            bus=bus,
+            **point_overrides,
+        )
+        for family in families
+        for size in sizes
+    ]
     return SweepSpec.explicit(points, name=name)
 
 

@@ -129,8 +129,10 @@ class ExperimentSpec:
                 )
             if self.scale <= 0:
                 raise SpecError("scale must be positive")
-        # Early taxonomy validation: unknown devices and unsupported device
-        # kwargs fail here, not sixteen constructors deep in Node.__init__.
+        # Early taxonomy validation against the device registry: any legal
+        # taxonomy name resolves (registered or synthesized from primitives);
+        # illegal names and unsupported device kwargs fail here, not sixteen
+        # constructors deep in Node.__init__.
         validate_ni_kwargs(self.device, self.ni_kwargs)
         return self
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Sequence, Tuple
+from typing import Dict, Generator, List, Sequence
 
 from repro.apps.workload import Workload, poll_until
 from repro.node.machine import Machine

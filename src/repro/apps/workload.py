@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
 
 from repro.node.machine import Machine
 

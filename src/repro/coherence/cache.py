@@ -10,7 +10,7 @@ resulting bus traffic matter for the paper's results.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.addrmap import AddressMap
 from repro.common.params import MachineParams

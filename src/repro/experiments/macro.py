@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
-from repro.apps import MACROBENCHMARKS, create_workload
+from repro.apps import create_workload
 from repro.apps.workload import WorkloadResult
 from repro.common.types import BusKind
 from repro.node.machine import Machine

@@ -10,7 +10,7 @@ are steady-state averages over many iterations after a warm-up period.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 from repro.common.types import BusKind
 from repro.node.machine import Machine

@@ -10,7 +10,7 @@ into its receive queue and also take the fixed network latency.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.common.params import MachineParams
 from repro.common.types import NetworkMessage

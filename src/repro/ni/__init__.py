@@ -1,10 +1,29 @@
-"""Network interface devices: the conventional NI2w and the coherent CNIs."""
+"""Network interface devices, assembled from composable primitives.
 
-from repro.ni.base import AbstractNI, DeviceHomeAgent, NIError, DEVICE_PROCESSING_CYCLES
-from repro.ni.cni4 import CNI4
+The three device *families* (:class:`UncachedNI`, :class:`CdrNI`,
+:class:`CoherentQueueNI`) pair the send/receive port primitives of
+:mod:`repro.ni.primitives` over the shared :class:`AbstractNI`
+infrastructure; :mod:`repro.ni.registry` synthesizes a concrete device
+class for any legal taxonomy name from them.
+"""
+
+from repro.ni.base import (
+    AbstractNI,
+    ComposedNI,
+    DeviceHomeAgent,
+    NIError,
+    DEVICE_PROCESSING_CYCLES,
+)
+from repro.ni.cni4 import CNI4, CdrNI
 from repro.ni.cniq import CNI16Q, CNI512Q, CNI16Qm, CoherentQueueNI
 from repro.ni.cq import CachableQueue, QueueError, SenseReverseQueue, sense_for_pass
-from repro.ni.ni2w import NI2w
+from repro.ni.ni2w import NI2w, UncachedNI
+from repro.ni.registry import (
+    DEVICE_SCHEMA_VERSION,
+    GENERATIVE_SAMPLE,
+    DeviceSpec,
+    synthesized_class,
+)
 from repro.ni.taxonomy import (
     EVALUATED_DEVICES,
     DeviceInfo,
@@ -17,16 +36,20 @@ from repro.ni.taxonomy import (
     device_class,
     parse_ni_name,
     register_device,
+    unregister_device,
     validate_ni_kwargs,
 )
 
 __all__ = [
     "AbstractNI",
+    "ComposedNI",
     "DeviceHomeAgent",
     "NIError",
     "DEVICE_PROCESSING_CYCLES",
     "NI2w",
+    "UncachedNI",
     "CNI4",
+    "CdrNI",
     "CoherentQueueNI",
     "CNI16Q",
     "CNI512Q",
@@ -41,10 +64,15 @@ __all__ = [
     "create_ni",
     "device_class",
     "register_device",
+    "unregister_device",
     "available_devices",
     "available_device_names",
     "validate_ni_kwargs",
     "DeviceInfo",
+    "DeviceSpec",
+    "synthesized_class",
+    "DEVICE_SCHEMA_VERSION",
+    "GENERATIVE_SAMPLE",
     "classify_existing_machines",
     "EVALUATED_DEVICES",
 ]

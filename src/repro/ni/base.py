@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import List, Optional
+from typing import Optional
 
 from repro.common.addrmap import AddressMap, RegionAllocator
 from repro.common.params import MachineParams
@@ -284,3 +284,39 @@ class AbstractNI(abc.ABC):
 
     def describe(self) -> str:
         return f"{self.taxonomy_name} on the {self.bus_kind.value} bus (node {self.node_id})"
+
+
+class ComposedNI(AbstractNI):
+    """A network interface assembled from one send port and one receive port.
+
+    Device families (uncached-register, CDR, cachable-queue — see
+    :mod:`repro.ni.primitives`) allocate their address layout, build their
+    caches and queues, then attach the two ports; everything the abstract
+    interface requires is pure delegation.  ``uncached_read``/``write``
+    register hooks are fanned out to both ports, which ignore addresses
+    that are not theirs.
+    """
+
+    def _attach_ports(self, send_port, recv_port) -> None:
+        self.send_port = send_port
+        self.recv_port = recv_port
+
+    def proc_try_send(self, message: NetworkMessage):
+        return self.send_port.proc_try_send(message)
+
+    def proc_poll(self):
+        return self.recv_port.proc_poll()
+
+    def _injection_process(self):
+        return self.send_port.injection_process()
+
+    def _extraction_process(self):
+        return self.recv_port.extraction_process()
+
+    def uncached_read(self, address: int) -> None:
+        self.send_port.uncached_read(address)
+        self.recv_port.uncached_read(address)
+
+    def uncached_write(self, address: int) -> None:
+        self.send_port.uncached_write(address)
+        self.recv_port.uncached_write(address)

@@ -1,66 +1,73 @@
-"""CNI4 — cachable device registers exposing one 256-byte network message.
+"""The cachable-device-register family: CNI4 and its taxonomy relatives.
 
-CNI4 extends the conventional NI with four CDR blocks per direction, so
-whole messages move across the bus in cache-block units, but keeps uncached
-status/control registers and therefore pays:
+CDR devices extend the conventional NI with cachable device-register
+blocks, so whole messages move across the bus in cache-block units, but
+keep uncached status/control registers and therefore pay:
 
 * an uncached status-register load on every poll and space check, and
 * the explicit *three-cycle handshake* to reuse the receive CDRs after each
   message (uncached clear store, store-buffer drain, and an uncached status
   read that confirms the device's invalidation).
 
-Because the CDRs expose only a single message, the processor must also wait
-for the device to finish pulling a sent message before the send CDRs can be
-reused — the source of CNI4's bandwidth knee in Figure 7.
+:class:`CdrNI` is the general family: ``cdr_blocks`` cachable blocks per
+direction, divided into message-sized slots with implicit round-robin
+pointers.  :class:`CNI4` — the paper's device — exposes a single message
+per direction, so the processor must wait for the device to finish pulling
+a sent message before the send CDRs can be reused: the source of CNI4's
+bandwidth knee in Figure 7.  Larger family members (``CNI16``, ``CNI64``,
+...) expose several slots and push that knee out without ever growing
+explicit queue pointers.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Optional
-
 from repro.coherence.cache import CoherentCache
-from repro.common.types import AgentKind, NetworkMessage
-from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
-from repro.sim import Signal
+from repro.common.types import AgentKind
+from repro.ni.base import ComposedNI, NIError
+from repro.ni.primitives import CdrRecvPort, CdrSendPort
 
 
-class CNI4(AbstractNI):
-    """CDR-based coherent NI exposing four cache blocks per direction."""
+class CdrNI(ComposedNI):
+    """CDR-based coherent NI exposing ``cdr_blocks`` blocks per direction."""
 
-    taxonomy_name = "CNI4"
+    taxonomy_name = "CNI"
 
-    #: CDR blocks per direction: one 256-byte network message.
-    CDR_BLOCKS = 4
+    #: CDR blocks per direction when not overridden (one 256-byte message).
+    DEFAULT_CDR_BLOCKS = 4
     #: Messages the device can buffer internally behind the receive CDRs.
     DEFAULT_RECV_BUFFER_MESSAGES = 4
 
-    def __init__(self, *args, recv_buffer_messages: int = DEFAULT_RECV_BUFFER_MESSAGES, **kwargs):
+    def __init__(
+        self,
+        *args,
+        cdr_blocks: int = DEFAULT_CDR_BLOCKS,
+        recv_buffer_messages: int = DEFAULT_RECV_BUFFER_MESSAGES,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         if recv_buffer_messages < 1:
-            raise NIError("CNI4 needs at least one receive buffer slot")
-        if self.params.blocks_per_network_message > self.CDR_BLOCKS:
+            raise NIError(f"{self.taxonomy_name} needs at least one receive buffer slot")
+        if self.params.blocks_per_network_message > cdr_blocks:
             raise NIError(
                 f"{self.name}: a network message spans "
-                f"{self.params.blocks_per_network_message} blocks but CNI4 "
-                f"exposes only {self.CDR_BLOCKS} CDR blocks per direction"
+                f"{self.params.blocks_per_network_message} blocks but only "
+                f"{cdr_blocks} CDR blocks are exposed per direction"
             )
+        if cdr_blocks % self.params.blocks_per_network_message:
+            raise NIError(
+                f"{self.name}: {cdr_blocks} CDR blocks is not a whole number "
+                f"of {self.params.blocks_per_network_message}-block message slots"
+            )
+        self.cdr_blocks = cdr_blocks
         self.recv_buffer_messages = recv_buffer_messages
         block_bytes = self.params.cache_block_bytes
 
         # Device-homed CDR blocks (send and receive directions).
         self.send_cdr_blocks = [
-            self.allocate_device_blocks(1) for _ in range(self.CDR_BLOCKS)
+            self.allocate_device_blocks(1) for _ in range(cdr_blocks)
         ]
         self.recv_cdr_blocks = [
-            self.allocate_device_blocks(1) for _ in range(self.CDR_BLOCKS)
-        ]
-
-        self._send_cdr_prefixes = [
-            self.send_cdr_blocks[:n] for n in range(1, self.CDR_BLOCKS + 1)
-        ]
-        self._recv_cdr_prefixes = [
-            self.recv_cdr_blocks[:n] for n in range(1, self.CDR_BLOCKS + 1)
+            self.allocate_device_blocks(1) for _ in range(cdr_blocks)
         ]
 
         # Uncached status/control registers.
@@ -76,144 +83,40 @@ class CNI4(AbstractNI):
             self.interconnect,
             self.params,
             self.addrmap,
-            size_bytes=2 * self.CDR_BLOCKS * block_bytes,
+            size_bytes=2 * cdr_blocks * block_bytes,
             agent_kind=AgentKind.NI_DEVICE,
             bus_kind=self.bus_kind,
         )
 
-        # Functional device state.
-        self._send_pending: Optional[NetworkMessage] = None
-        self._send_cdr_busy = False
-        self._recv_buffer: "deque[NetworkMessage]" = deque()
-        self._exposed_message: Optional[NetworkMessage] = None
-        self._exposed_popped = True  # nothing exposed yet
-
-        self._send_ready_signal = Signal(self.sim, name=f"{self.name}.send-ready")
-        self._recv_pop_signal = Signal(self.sim, name=f"{self.name}.recv-pop")
-        self._recv_drained_signal = Signal(self.sim, name=f"{self.name}.recv-drained")
-
-    # ------------------------------------------------------------------
-    # Uncached register hooks
-    # ------------------------------------------------------------------
-    def uncached_write(self, address: int) -> None:
-        if address == self.send_ready_reg:
-            self.stats.add("send_ready_signals")
-            self._send_ready_signal.fire()
-        elif address == self.recv_pop_reg:
-            self.stats.add("recv_pops")
-            self._exposed_message = None
-            self._exposed_popped = True
-            self._recv_pop_signal.fire()
-
-    # ------------------------------------------------------------------
-    # Processor side
-    # ------------------------------------------------------------------
-    def proc_try_send(self, message: NetworkMessage):
-        proc = self._processor_agent()
-        # 1. Check the uncached send-status register: are the send CDRs free?
-        yield from self.uncached_load(self.send_status_reg)
-        if self._send_cdr_busy or self._send_pending is not None:
-            self.stats.add("send_full")
-            return False
-        # 2. Write the message into the send CDRs, a whole block at a time,
-        #    copying the data out of the user buffer.
-        for addr in self._send_cdr_prefixes[self.blocks_for(message) - 1]:
-            yield from proc.write_block(addr)
-            yield self.params.block_copy_cycles
-        message.send_time = self.sim.now
-        self._send_pending = message
-        self._send_cdr_busy = True
-        # 3. Commit with an uncached store (and drain the store buffer so the
-        #    device is guaranteed to observe it).
-        yield from self.memory_barrier()
-        yield from self.uncached_store(self.send_ready_reg)
-        self.stats.add("messages_sent")
-        return True
-
-    def proc_poll(self):
-        proc = self._processor_agent()
-        # 1. Poll the uncached receive-status register (28 cycles on the
-        #    memory bus every time — the cost CDR-only designs cannot avoid).
-        yield from self.uncached_load(self.recv_status_reg)
-        self._counts["polls"] += 1
-        message = self._exposed_message
-        if message is None:
-            self._counts["empty_polls"] += 1
-            return None
-        # 2. Read the message out of the receive CDRs (cache-to-cache
-        #    transfers from the device cache) and copy it to the user buffer.
-        for addr in self._recv_cdr_prefixes[self.blocks_for(message) - 1]:
-            yield from proc.read_block(addr)
-            yield self.params.block_copy_cycles
-        # 3. Explicit pop: the three-cycle handshake of Section 2.1.
-        yield from self.uncached_store(self.recv_pop_reg)
-        yield from self.memory_barrier()
-        yield from self.uncached_load(self.recv_status_reg)
-        self.stats.add("messages_received")
-        return message
-
-    # ------------------------------------------------------------------
-    # Device side
-    # ------------------------------------------------------------------
-    def _injection_process(self):
-        while True:
-            if self._send_pending is None:
-                yield self._send_ready_signal
-                continue
-            message = self._send_pending
-            yield from self._wait_for_window(message.dest)
-            # Pull the CDR blocks out of the processor cache.  Injection is
-            # cut-through: the message starts down the wire after the first
-            # block; the remaining blocks stream behind it (but the CDRs are
-            # not free for reuse until the whole pull has finished).
-            blocks = self._send_cdr_prefixes[self.blocks_for(message) - 1]
-            yield from self.device_cache.read_block(blocks[0])
-            yield DEVICE_PROCESSING_CYCLES
-            self._inject(message)
-            for addr in blocks[1:]:
-                yield from self.device_cache.read_block(addr)
-            self._send_pending = None
-            self._send_cdr_busy = False
-            # Freeing the CDRs lets a spinning sender proceed.
-            self._send_ready_signal.fire()
-
-    def _extraction_process(self):
-        while True:
-            # Accept arrivals into the device buffer while there is room.
-            if self._net_in and len(self._recv_buffer) < self.recv_buffer_messages:
-                message = self._net_in.popleft()
-                yield DEVICE_PROCESSING_CYCLES
-                self._recv_buffer.append(message)
-                self.stats.add("messages_accepted")
-                self._ack(message)
-                self._recv_drained_signal.fire()
-                continue
-            # Expose the next buffered message through the receive CDRs once
-            # the previous one has been explicitly popped.
-            if self._recv_buffer and self._exposed_popped:
-                message = self._recv_buffer.popleft()
-                # Writing the CDR blocks invalidates the processor's stale
-                # copies — the device side of the reuse handshake.
-                for addr in self._recv_cdr_prefixes[self.blocks_for(message) - 1]:
-                    yield from self.device_cache.write_block_full(addr)
-                yield DEVICE_PROCESSING_CYCLES
-                self._exposed_message = message
-                self._exposed_popped = False
-                self._recv_drained_signal.fire()
-                continue
-            # Nothing to do: wait for an arrival or a pop.
-            if not self._net_in and not self._recv_buffer:
-                yield self._net_in_signal
-            elif not self._exposed_popped:
-                yield self._recv_pop_signal
-            else:
-                yield self._net_in_signal
+        self._attach_ports(
+            CdrSendPort(
+                self, self.send_cdr_blocks, self.send_status_reg,
+                self.send_ready_reg, self.device_cache,
+            ),
+            CdrRecvPort(
+                self, self.recv_cdr_blocks, self.recv_status_reg,
+                self.recv_pop_reg, self.device_cache, recv_buffer_messages,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def recv_buffer_depth(self) -> int:
-        return len(self._recv_buffer)
+        return self.recv_port.buffer_depth()
 
     def send_busy(self) -> bool:
-        return self._send_cdr_busy
+        return self.send_port.pending_count() >= self.send_port.slots
+
+
+class CNI4(CdrNI):
+    """The paper's CDR device: four cache blocks (one message) per direction."""
+
+    taxonomy_name = "CNI4"
+
+    #: CDR blocks per direction: one 256-byte network message.
+    CDR_BLOCKS = 4
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("cdr_blocks", self.CDR_BLOCKS)
+        super().__init__(*args, **kwargs)

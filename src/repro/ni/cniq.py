@@ -1,4 +1,4 @@
-"""CQ-based coherent network interfaces: CNI16Q, CNI512Q and CNI16Qm.
+"""The cachable-queue family: CNI16Q, CNI512Q, CNI16Qm and every CNI{n}Q[m].
 
 Each direction (send and receive) is a cachable queue of 256-byte network
 messages (4 cache blocks per entry).  The processor and the device
@@ -15,9 +15,12 @@ communicate purely through coherent block accesses plus one uncached
   last.  The processor polls the valid word of the head entry — a cache hit
   while the queue is empty — and reads the message blocks on arrival.
 
-``CNI16Q`` and ``CNI512Q`` home both queues on the device; ``CNI16Qm`` homes
-the receive queue in main memory with a 16-block device cache in front of
-it, so bursts overflow smoothly to memory instead of backing up the network.
+``CNI16Q`` and ``CNI512Q`` home both queues on the device; ``CNI16Qm``
+homes the receive queue in main memory with a 16-block device cache in
+front of it, so bursts overflow smoothly to memory instead of backing up
+the network.  The mechanisms themselves (lazy pointers, valid words, sense
+reverse) live in :mod:`repro.ni.primitives` and :mod:`repro.ni.cq`; this
+module only decides the address layout and the queue/cache sizing.
 """
 
 from __future__ import annotations
@@ -25,13 +28,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.coherence.cache import CoherentCache
-from repro.common.types import AgentKind, NetworkMessage
-from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
+from repro.common.types import AgentKind
+from repro.ni.base import ComposedNI, NIError
 from repro.ni.cq import CachableQueue
-from repro.sim import Signal
+from repro.ni.primitives import CqRecvPort, CqSendPort
 
 
-class CoherentQueueNI(AbstractNI):
+class CoherentQueueNI(ComposedNI):
     """Generic CQ-based CNI, parameterized by queue and device-cache sizes."""
 
     taxonomy_name = "CNIQ"
@@ -57,6 +60,8 @@ class CoherentQueueNI(AbstractNI):
         block_bytes = self.params.cache_block_bytes
 
         # --- Address allocation ----------------------------------------
+        # Layout order is part of the device's observable behaviour (it
+        # determines conflict misses), so it is decided here, not in ports.
         send_base = self.allocate_device_blocks(send_queue_blocks)
         if recv_home == "device":
             recv_base = self.allocate_device_blocks(recv_queue_blocks)
@@ -121,131 +126,10 @@ class CoherentQueueNI(AbstractNI):
             bus_kind=self.bus_kind,
         )
 
-        # --- Device-side signals ------------------------------------------
-        self._send_ready_signal = Signal(self.sim, name=f"{self.name}.send-ready")
-        self._recv_head_advanced = Signal(self.sim, name=f"{self.name}.head-advanced")
-
-    # ------------------------------------------------------------------
-    # Uncached register hooks
-    # ------------------------------------------------------------------
-    def uncached_write(self, address: int) -> None:
-        if address == self.msg_ready_reg:
-            self.stats.add("message_ready_signals")
-            self._send_ready_signal.fire()
-
-    # ------------------------------------------------------------------
-    # Processor side
-    # ------------------------------------------------------------------
-    def proc_try_send(self, message: NetworkMessage):
-        proc = self._processor_agent()
-        sq = self.send_q
-        # 1. Space check against the lazy shadow of the device-written head.
-        #    The tail pointer and shadow live in the sender's private block.
-        yield from proc.read_block(sq.tail_ptr_addr)
-        if sq.full_by_shadow():
-            self.stats.add("send_shadow_refreshes")
-            yield from proc.read_block(sq.head_ptr_addr)
-            sq.refresh_shadow()
-            if sq.full_by_shadow():
-                self.stats.add("send_full")
-                return False
-        # 2. Write the message into the queue entry, one block at a time,
-        #    copying the data out of the user buffer.
-        slot = sq.tail_index()
-        for addr in sq.entry_block_addrs(slot, self.blocks_for(message)):
-            yield from proc.write_block(addr)
-            yield self.params.block_copy_cycles
-        message.send_time = self.sim.now
-        sq.enqueue(message)
-        # 3. Bump the private tail pointer (cache hit).
-        yield from proc.write_block(sq.tail_ptr_addr)
-        # 4. Message-ready signal: one uncached store to the device.
-        yield from self.uncached_store(self.msg_ready_reg)
-        self.stats.add("messages_sent")
-        return True
-
-    def proc_poll(self):
-        proc = self._processor_agent()
-        rq = self.recv_q
-        slot = rq.head_index()
-        # 1. Examine the valid word of the head entry; hits in the cache
-        #    while the queue is empty, misses when the device wrote a new
-        #    message (the write invalidated our copy).
-        yield from proc.read_block(rq.valid_word_addr(slot))
-        self._counts["polls"] += 1
-        message = rq.peek()
-        if message is None:
-            self._counts["empty_polls"] += 1
-            return None
-        # 2. Read the rest of the message blocks, copying each into the
-        #    user-level buffer.
-        yield self.params.block_copy_cycles
-        for addr in rq.entry_block_addrs(slot, self.blocks_for(message))[1:]:
-            yield from proc.read_block(addr)
-            yield self.params.block_copy_cycles
-        rq.dequeue()
-        # 3. Advance the head pointer (receiver-private block, usually a hit).
-        yield from proc.write_block(rq.head_ptr_addr)
-        self._recv_head_advanced.fire()
-        self.stats.add("messages_received")
-        return message
-
-    # ------------------------------------------------------------------
-    # Device side
-    # ------------------------------------------------------------------
-    def _injection_process(self):
-        sq = self.send_q
-        while True:
-            if sq.empty():
-                yield self._send_ready_signal
-                continue
-            slot = sq.head_index()
-            message = sq.entries[slot].message
-            yield from self._wait_for_window(message.dest)
-            # Pull the message blocks out of the processor cache.  Injection
-            # is cut-through: once the first block has been read the message
-            # starts down the wire and the remaining blocks stream behind it.
-            blocks = sq.entry_block_addrs(slot, self.blocks_for(message))
-            yield from self.send_cache.read_block(blocks[0])
-            yield DEVICE_PROCESSING_CYCLES
-            self._inject(message)
-            for addr in blocks[1:]:
-                yield from self.send_cache.read_block(addr)
-            sq.dequeue()
-            # Advance the device-written head pointer so the processor's
-            # lazy shadow can eventually observe the free space.
-            yield from self.ptr_cache.write_block(sq.head_ptr_addr)
-
-    def _extraction_process(self):
-        rq = self.recv_q
-        while True:
-            if not self._net_in:
-                yield self._net_in_signal
-                continue
-            # Space check against the device's lazy shadow of the processor
-            # head pointer.
-            if rq.full_by_shadow():
-                self.stats.add("recv_shadow_refreshes")
-                yield from self.ptr_cache.read_block(rq.head_ptr_addr)
-                rq.refresh_shadow()
-                if rq.full_by_shadow():
-                    # Receive queue genuinely full: back-pressure the network
-                    # until the processor drains a message.
-                    self.stats.add("recv_queue_full_stalls")
-                    yield self._recv_head_advanced
-                    continue
-            message = self._net_in.popleft()
-            slot = rq.tail_index()
-            blocks = rq.entry_block_addrs(slot, self.blocks_for(message))
-            # Write the message body first, then commit the valid word by
-            # re-touching the first block (normally a device-cache hit).
-            for addr in blocks:
-                yield from self.recv_cache.write_block_full(addr)
-            yield from self.recv_cache.write_block(blocks[0])
-            yield DEVICE_PROCESSING_CYCLES
-            rq.enqueue(message)
-            self.stats.add("messages_accepted")
-            self._ack(message)
+        self._attach_ports(
+            CqSendPort(self, self.send_q, self.send_cache, self.ptr_cache, self.msg_ready_reg),
+            CqRecvPort(self, self.recv_q, self.recv_cache, self.ptr_cache),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,4 +1,4 @@
-"""NI2w — the conventional, CM-5-like network interface.
+"""The uncached-register device family: NI2w and its taxonomy relatives.
 
 All processor/NI communication uses *uncached* loads and stores:
 
@@ -9,129 +9,114 @@ All processor/NI communication uses *uncached* loads and stores:
   uncached 8-byte load per double word of the message (reading the data
   register implicitly pops the hardware FIFO).
 
-The device contains small hardware FIFOs in both directions; when the
-receive FIFO is full, arriving messages back up into the network (the
-extraction process withholds the acknowledgement), which is what forces the
-software flow-control buffering the paper describes.
+The device contains hardware FIFOs in both directions; when the receive
+FIFO is full, arriving messages back up into the network (the extraction
+process withholds the acknowledgement), which is what forces the software
+flow-control buffering the paper describes.
+
+:class:`UncachedNI` is the general family — every ``NI{n}w``, ``NI{n}``
+and explicit-pointer ``NI{n}Q`` point of the taxonomy is an instance with
+different FIFO sizing (see :mod:`repro.ni.registry`).  :class:`NI2w` is
+the CM-5-like device evaluated in the paper.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Optional
 
 from repro.common.types import NetworkMessage
-from repro.ni.base import AbstractNI, DEVICE_PROCESSING_CYCLES, NIError
-from repro.sim import Signal
+from repro.ni.base import ComposedNI, NIError
+from repro.ni.primitives import UncachedRecvPort, UncachedSendPort
 
 
-class NI2w(AbstractNI):
-    """Conventional program-controlled NI with uncached device registers."""
+class UncachedNI(ComposedNI):
+    """Program-controlled NI with uncached device registers.
 
-    taxonomy_name = "NI2w"
+    ``fifo_messages`` sizes the hardware FIFO per direction directly;
+    alternatively ``queue_blocks`` sizes it as a whole number of network
+    messages (the ``NI{n}``/``NI{n}Q`` block-exposed devices).  With
+    ``explicit_pointers`` the device keeps memory-based queue pointers the
+    processor must publish with one extra uncached store per send and per
+    receive (the *T-NG ``NI{n}Q`` style).
+    """
+
+    taxonomy_name = "NIw"
 
     #: Hardware FIFO capacity per direction, in network messages.  The CM-5
     #: NI buffers only a handful of messages in the device.
     DEFAULT_FIFO_MESSAGES = 4
 
-    def __init__(self, *args, fifo_messages: int = DEFAULT_FIFO_MESSAGES, **kwargs):
+    #: Alternative sizing axes; declared so ``validate_ni_kwargs`` rejects
+    #: specs naming both *before* any machine assembly starts.
+    EXCLUSIVE_NI_KWARGS = (("fifo_messages", "queue_blocks"),)
+
+    def __init__(
+        self,
+        *args,
+        fifo_messages: Optional[int] = None,
+        queue_blocks: Optional[int] = None,
+        explicit_pointers: bool = False,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
+        if fifo_messages is not None and queue_blocks is not None:
+            raise NIError(
+                f"{self.name}: give either fifo_messages or queue_blocks, "
+                f"not both (the word-exposed family is sized by "
+                f"fifo_messages, the block-exposed family by queue_blocks)"
+            )
+        if fifo_messages is None:
+            if queue_blocks is not None:
+                bpm = self.params.blocks_per_network_message
+                if queue_blocks < bpm or queue_blocks % bpm:
+                    raise NIError(
+                        f"{self.name}: a {queue_blocks}-block queue is not a "
+                        f"whole positive number of {bpm}-block network messages"
+                    )
+                fifo_messages = queue_blocks // bpm
+            else:
+                fifo_messages = self.DEFAULT_FIFO_MESSAGES
         if fifo_messages < 1:
-            raise NIError("NI2w needs at least one FIFO slot per direction")
+            raise NIError(f"{self.taxonomy_name} needs at least one FIFO slot per direction")
         self.fifo_messages = fifo_messages
+        self.explicit_pointers = explicit_pointers
 
         # Device registers (addresses only; values are modelled functionally).
         self.send_status_reg = self.allocate_uncached_register()
         self.send_data_reg = self.allocate_uncached_register()
         self.recv_status_reg = self.allocate_uncached_register()
         self.recv_data_reg = self.allocate_uncached_register()
+        tail_ptr_reg = head_ptr_reg = None
+        if explicit_pointers:
+            tail_ptr_reg = self.allocate_uncached_register()
+            head_ptr_reg = self.allocate_uncached_register()
 
-        self._send_fifo: "deque[NetworkMessage]" = deque()
-        self._recv_fifo: "deque[NetworkMessage]" = deque()
-        self._word_cycles = self.params.uncached_word_processing_cycles
-        self._send_fifo_signal = Signal(self.sim, name=f"{self.name}.send-fifo")
-        self._recv_space_signal = Signal(self.sim, name=f"{self.name}.recv-space")
-
-    # ------------------------------------------------------------------
-    # Processor side
-    # ------------------------------------------------------------------
-    def proc_try_send(self, message: NetworkMessage):
-        """Uncached-store send path (returns True if accepted)."""
-        # 1. Check the send-status register for space in the hardware FIFO.
-        yield from self.uncached_load(self.send_status_reg)
-        if len(self._send_fifo) >= self.fifo_messages:
-            self.stats.add("send_full")
-            return False
-        # 2. Write the message, one uncached double-word store at a time
-        #    (each word also costs the user-buffer load and loop overhead).
-        for _ in range(self.words_for(message)):
-            yield from self.uncached_store(self.send_data_reg)
-            yield self._word_cycles
-        message.send_time = self.sim.now
-        self._send_fifo.append(message)
-        self.stats.add("messages_sent")
-        self._send_fifo_signal.fire()
-        return True
-
-    def proc_poll(self):
-        """Uncached-load receive path (returns a message or None)."""
-        # 1. Poll the receive-status register.
-        yield from self.uncached_load(self.recv_status_reg)
-        self._counts["polls"] += 1
-        if not self._recv_fifo:
-            self._counts["empty_polls"] += 1
-            return None
-        # 2. Read the message out of the hardware FIFO (implicit pop), one
-        #    uncached double-word load at a time plus the user-buffer store.
-        message = self._recv_fifo.popleft()
-        for _ in range(self.words_for(message)):
-            yield from self.uncached_load(self.recv_data_reg)
-            yield self._word_cycles
-        self.stats.add("messages_received")
-        self._recv_space_signal.fire()
-        return message
-
-    # ------------------------------------------------------------------
-    # Device side
-    # ------------------------------------------------------------------
-    def _injection_process(self):
-        while True:
-            if not self._send_fifo:
-                yield self._send_fifo_signal
-                continue
-            message = self._send_fifo[0]
-            yield from self._wait_for_window(message.dest)
-            yield DEVICE_PROCESSING_CYCLES
-            self._send_fifo.popleft()
-            self._inject(message)
-            # Removing the message frees FIFO space for the processor.
-            self._send_fifo_signal.fire()
-
-    def _extraction_process(self):
-        while True:
-            if not self._net_in:
-                yield self._net_in_signal
-                continue
-            if len(self._recv_fifo) >= self.fifo_messages:
-                # Receive FIFO full: the message stays in the network until
-                # the processor drains the FIFO (backpressure).
-                self.stats.add("recv_fifo_full_stalls")
-                yield self._recv_space_signal
-                continue
-            message = self._net_in.popleft()
-            yield DEVICE_PROCESSING_CYCLES
-            self._recv_fifo.append(message)
-            self.stats.add("messages_accepted")
-            self._ack(message)
+        self._attach_ports(
+            UncachedSendPort(
+                self, self.send_data_reg, self.send_status_reg,
+                fifo_messages, tail_ptr_reg=tail_ptr_reg,
+            ),
+            UncachedRecvPort(
+                self, self.recv_data_reg, self.recv_status_reg,
+                fifo_messages, head_ptr_reg=head_ptr_reg,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def send_fifo_depth(self) -> int:
-        return len(self._send_fifo)
+        return len(self.send_port.fifo)
 
     def recv_fifo_depth(self) -> int:
-        return len(self._recv_fifo)
+        return len(self.recv_port.fifo)
 
     def pending_receive(self) -> Optional[NetworkMessage]:
-        return self._recv_fifo[0] if self._recv_fifo else None
+        fifo = self.recv_port.fifo
+        return fifo[0] if fifo else None
+
+
+class NI2w(UncachedNI):
+    """The conventional, CM-5-like NI: two exposed words, implicit pointers."""
+
+    taxonomy_name = "NI2w"

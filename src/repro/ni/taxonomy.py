@@ -24,15 +24,23 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple, Type
 
 from repro.ni.base import AbstractNI
 from repro.ni.cni4 import CNI4
-from repro.ni.cniq import CNI16Q, CNI512Q, CNI16Qm, CoherentQueueNI
+from repro.ni.cniq import CNI16Q, CNI512Q, CNI16Qm
 from repro.ni.ni2w import NI2w
 
 
 class TaxonomyError(ValueError):
-    """Raised for malformed or unsupported taxonomy names."""
+    """Raised for malformed or unsupported taxonomy names.
+
+    Error messages name the offending field of the ``NI_iX`` grammar
+    (``prefix``, ``size``, ``unit`` or ``queue``) so callers can see *which*
+    axis of the taxonomy a name violates.
+    """
 
 
 _NAME_PATTERN = re.compile(r"^(?P<prefix>C?NI)(?P<size>\d+)(?P<unit>w?)(?P<queue>Qm|Q)?$")
+_NAME_PATTERN_LAX = re.compile(
+    r"^(?P<prefix>C?NI)(?P<size>\d+)(?P<unit>w?)(?P<queue>Qm|Q)?$", re.IGNORECASE
+)
 
 
 @dataclass(frozen=True)
@@ -65,20 +73,73 @@ class NISpec:
 
 
 def parse_ni_name(name: str) -> NISpec:
-    """Parse a taxonomy name like ``"CNI16Qm"`` into an :class:`NISpec`."""
-    match = _NAME_PATTERN.match(name.strip())
+    """Parse a taxonomy name like ``"CNI16Qm"`` into an :class:`NISpec`.
+
+    Raises :class:`TaxonomyError` for malformed names, with the message
+    naming the offending grammar field.  Enforced grammar rules:
+
+    * ``size`` must be a positive integer;
+    * ``unit`` ``w`` (words) requires the ``NI`` prefix — coherent devices
+      exchange whole cache blocks;
+    * ``queue`` suffixes (``Q``/``Qm``) require block-sized exposure —
+      explicit queues are arrays of message entries;
+    * ``queue`` ``Qm`` requires the ``CNI`` prefix — a memory-homed queue
+      needs coherent access to main memory.
+    """
+    stripped = name.strip()
+    match = _NAME_PATTERN.match(stripped)
     if not match:
-        raise TaxonomyError(f"cannot parse NI taxonomy name {name!r}")
+        lax = _NAME_PATTERN_LAX.match(stripped)
+        if lax:
+            candidate = (
+                f"{lax.group('prefix').upper()}{lax.group('size')}"
+                f"{lax.group('unit').lower()}{(lax.group('queue') or '').capitalize()}"
+            )
+            try:
+                parse_ni_name(candidate)
+            except TaxonomyError:
+                hint = ""  # the case-fixed name is itself illegal; no hint
+            else:
+                hint = f" — did you mean {candidate!r}?"
+            raise TaxonomyError(
+                f"cannot parse NI taxonomy name {name!r}: names are "
+                f"case-sensitive (prefix NI/CNI, unit 'w', queue 'Q'/'Qm')"
+                f"{hint}"
+            )
+        raise TaxonomyError(
+            f"cannot parse NI taxonomy name {name!r}: expected prefix NI or "
+            f"CNI, a positive size, an optional unit 'w' and an optional "
+            f"queue suffix 'Q' or 'Qm'"
+        )
     prefix = match.group("prefix")
     size = int(match.group("size"))
     if size <= 0:
-        raise TaxonomyError(f"exposed queue size must be positive in {name!r}")
+        raise TaxonomyError(f"{name!r}: size field (exposed queue size) must be positive")
+    if match.group("size") != str(size):
+        # Leading zeros would alias distinct spellings of the same device
+        # ("NI04" vs "NI4") into distinct spec hashes and cache entries.
+        raise TaxonomyError(
+            f"{name!r}: size field must not have leading zeros (write {size})"
+        )
     unit = "words" if match.group("unit") == "w" else "blocks"
     queue = match.group("queue")
+    if unit == "words" and prefix == "CNI":
+        raise TaxonomyError(
+            f"{name!r}: unit field 'w' conflicts with the CNI prefix — "
+            f"coherent devices expose whole cache blocks, not words"
+        )
+    if queue is not None and unit == "words":
+        raise TaxonomyError(
+            f"{name!r}: queue field {queue!r} requires block-sized exposure — "
+            f"explicit queues are arrays of message-sized block entries"
+        )
     if queue == "Qm" and prefix != "CNI":
-        raise TaxonomyError(f"{name!r}: a memory-homed queue requires a coherent NI")
+        raise TaxonomyError(
+            f"{name!r}: queue field 'Qm' (memory-homed queue) requires the "
+            f"coherent CNI prefix"
+        )
     return NISpec(
-        name=name.strip(),
+        name=stripped,
         coherent=prefix == "CNI",
         exposed_size=size,
         unit=unit,
@@ -89,7 +150,9 @@ def parse_ni_name(name: str) -> NISpec:
 #: The five devices evaluated in the paper.
 EVALUATED_DEVICES = ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
 
-_DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = {
+#: The pinned implementations of the paper devices; `unregister_device`
+#: restores these if a plugin shadowed one of the names.
+_PAPER_CLASSES: Dict[str, Type[AbstractNI]] = {
     "NI2w": NI2w,
     "CNI4": CNI4,
     "CNI16Q": CNI16Q,
@@ -97,68 +160,142 @@ _DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = {
     "CNI16Qm": CNI16Qm,
 }
 
+_DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = dict(_PAPER_CLASSES)
+
 
 def device_class(name: str) -> Type[AbstractNI]:
-    """Return the device class for one of the evaluated taxonomy names."""
-    try:
-        return _DEVICE_CLASSES[name]
-    except KeyError:
-        raise TaxonomyError(
-            f"{name!r} is not one of the evaluated devices {EVALUATED_DEVICES}"
-        ) from None
+    """Return the device class for a taxonomy name.
+
+    Explicitly registered devices (the five evaluated ones plus any
+    :func:`register_device` plugins) win; every other *legal* taxonomy name
+    is synthesized on demand from the primitive components by
+    :mod:`repro.ni.registry`, so the whole generative space is buildable.
+    Raises :class:`TaxonomyError` for names that are neither registered nor
+    valid taxonomy points.
+    """
+    cls = _DEVICE_CLASSES.get(name)
+    if cls is not None:
+        return cls
+    from repro.ni.registry import synthesized_class
+
+    return synthesized_class(name)
 
 
-def register_device(name: str, cls: Type[AbstractNI]) -> None:
-    """Register an additional device implementation under a taxonomy name."""
-    if not issubclass(cls, AbstractNI):
+def register_device(name: str, cls: Optional[Type[AbstractNI]] = None):
+    """Register a device implementation under a taxonomy name.
+
+    Either a plain call, ``register_device("MyNI", MyClass)``, or the
+    decorator form — the public plugin hook::
+
+        @register_device("NI8wX")
+        class MyNI(UncachedNI):
+            ...
+
+    Registered names shadow the generative registry, so a plugin may also
+    *replace* a standard taxonomy point with a custom implementation.
+    Returns the class, enabling decorator use.
+    """
+    if cls is None:
+        def _decorator(klass: Type[AbstractNI]) -> Type[AbstractNI]:
+            return register_device(name, klass)
+
+        return _decorator
+    if not (isinstance(cls, type) and issubclass(cls, AbstractNI)):
         raise TaxonomyError(f"{cls!r} is not an AbstractNI subclass")
     _DEVICE_CLASSES[name] = cls
     _ALLOWED_KWARGS_CACHE.pop(cls, None)
+    return cls
+
+
+def unregister_device(name: str) -> None:
+    """Remove a registered device (no-op for unknown names).
+
+    The five evaluated paper devices cannot be removed: unregistering one
+    of their names restores the original pinned implementation, so a
+    plugin that shadowed a paper device is always reversible.
+    """
+    original = _PAPER_CLASSES.get(name)
+    if original is not None:
+        _DEVICE_CLASSES[name] = original
+    else:
+        _DEVICE_CLASSES.pop(name, None)
 
 
 @dataclass(frozen=True)
 class DeviceInfo:
-    """Metadata for one registered device."""
+    """Metadata for one registered or generable device.
+
+    ``cls_name`` names the *implementing* class: the registered class for
+    explicit devices, the family base class (e.g. ``UncachedNI``) for
+    generated entries — the synthesized subclass itself is named after the
+    taxonomy name and only exists once the device is actually built.
+    """
 
     name: str
     cls_name: str
     spec: Optional[NISpec]    # parsed taxonomy form, None if unparseable
     tunables: Tuple[str, ...]  # constructor kwargs accepted via ni_kwargs
+    generated: bool = False    # synthesized from the generative registry
 
     def describe(self) -> str:
         if self.spec is not None:
-            return self.spec.describe()
+            text = self.spec.describe()
+            return f"{text} [generated]" if self.generated else text
         return f"{self.name}: custom device ({self.cls_name})"
 
 
-def available_devices() -> Tuple[DeviceInfo, ...]:
-    """Metadata for every registered device, sorted by taxonomy name.
+def _device_info(name: str, cls: Type[AbstractNI], generated: bool) -> DeviceInfo:
+    try:
+        spec: Optional[NISpec] = parse_ni_name(name)
+    except TaxonomyError:
+        spec = None
+    return DeviceInfo(
+        name=name,
+        cls_name=cls.__name__,
+        spec=spec,
+        tunables=tuple(sorted(_allowed_ni_kwargs(cls))),
+        generated=generated,
+    )
 
-    Each entry carries the parsed :class:`NISpec` (when the registered name
-    follows the taxonomy grammar) and the constructor keywords the device
-    accepts through ``ni_kwargs``.
+
+def available_devices(generative: bool = True) -> Tuple[DeviceInfo, ...]:
+    """Metadata for every buildable device, sorted by taxonomy name.
+
+    Explicitly registered devices (the five evaluated ones plus plugins)
+    come flagged ``generated=False``; with ``generative`` (the default) the
+    enumeration also covers the registry's canonical sample of the
+    generative space (:data:`repro.ni.registry.GENERATIVE_SAMPLE` — the
+    space itself is unbounded: any legal ``NI_iX``/``CNI_iX`` name builds).
+    Each entry carries the parsed :class:`NISpec` (when the name follows
+    the taxonomy grammar) and the constructor keywords the device accepts
+    through ``ni_kwargs``.
     """
-    infos = []
-    for name in sorted(_DEVICE_CLASSES):
-        cls = _DEVICE_CLASSES[name]
-        try:
-            spec: Optional[NISpec] = parse_ni_name(name)
-        except TaxonomyError:
-            spec = None
-        infos.append(
-            DeviceInfo(
+    entries: Dict[str, DeviceInfo] = {
+        name: _device_info(name, cls, generated=False)
+        for name, cls in _DEVICE_CLASSES.items()
+    }
+    if generative:
+        from repro.ni.registry import GENERATIVE_SAMPLE, DeviceSpec
+
+        for name in GENERATIVE_SAMPLE:
+            if name in entries:
+                continue
+            # Metadata comes straight from the build plan — enumerating
+            # the space must not synthesize (and cache) device classes.
+            plan = DeviceSpec.from_name(name)
+            entries[name] = DeviceInfo(
                 name=name,
-                cls_name=cls.__name__,
-                spec=spec,
-                tunables=tuple(sorted(_allowed_ni_kwargs(cls))),
+                cls_name=plan.base_class.__name__,
+                spec=plan.spec,
+                tunables=tuple(sorted(_allowed_ni_kwargs(plan.base_class))),
+                generated=True,
             )
-        )
-    return tuple(infos)
+    return tuple(entries[name] for name in sorted(entries))
 
 
-def available_device_names() -> Tuple[str, ...]:
-    """Just the registered taxonomy names, sorted."""
-    return tuple(sorted(_DEVICE_CLASSES))
+def available_device_names(generative: bool = True) -> Tuple[str, ...]:
+    """Just the buildable taxonomy names, sorted."""
+    return tuple(info.name for info in available_devices(generative=generative))
 
 
 #: Constructor parameters supplied by :class:`repro.node.node.Node` itself;
@@ -218,6 +355,15 @@ def validate_ni_kwargs(name: str, ni_kwargs: Optional[Mapping] = None) -> None:
             f"device {name!r} does not accept ni_kwargs {unknown}; "
             f"supported: {sorted(allowed)}"
         )
+    # Mutually exclusive kwarg groups declared by the device family (e.g.
+    # the uncached family's two FIFO-sizing axes).
+    for group in getattr(cls, "EXCLUSIVE_NI_KWARGS", ()):
+        present = sorted(k for k in group if k in ni_kwargs)
+        if len(present) > 1:
+            raise TaxonomyError(
+                f"device {name!r} accepts only one of {sorted(group)}, "
+                f"got {present}"
+            )
 
 
 def create_ni(name: str, *args, **kwargs) -> AbstractNI:

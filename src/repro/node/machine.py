@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
@@ -166,6 +166,35 @@ class Machine:
                 f"{len(unfinished)} stuck processes ({', '.join(unfinished[:4])}...)"
             )
         return max(p.finished_at for p in processes) if processes else end_time
+
+    # ------------------------------------------------------------------
+    # Device space
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available_devices(generative: bool = True):
+        """Every NI the machine can be built with (see the device registry).
+
+        Convenience passthrough to
+        :func:`repro.ni.taxonomy.available_devices`, so callers assembling
+        machines can enumerate the generative taxonomy space from the same
+        front door they build from.
+        """
+        from repro.ni.taxonomy import available_devices
+
+        return available_devices(generative=generative)
+
+    def device_info(self):
+        """Parsed taxonomy metadata for each node's device (None for nodes
+        whose device name does not follow the taxonomy grammar)."""
+        from repro.ni.taxonomy import TaxonomyError, parse_ni_name
+
+        infos = []
+        for node in self.nodes:
+            try:
+                infos.append(parse_ni_name(node.config.ni_name))
+            except TaxonomyError:
+                infos.append(None)
+        return infos
 
     # ------------------------------------------------------------------
     # Reporting

@@ -11,7 +11,7 @@ from repro.common.addrmap import AddressMap, RegionAllocator
 from repro.common.params import DRAM_BASE, DRAM_SIZE, MachineParams
 from repro.common.types import AddressRange, AgentKind, BusKind
 from repro.network.fabric import NetworkFabric
-from repro.ni.taxonomy import create_ni, validate_ni_kwargs
+from repro.ni.taxonomy import TaxonomyError, create_ni, parse_ni_name, validate_ni_kwargs
 from repro.node.processor import Processor
 from repro.sim import Simulator
 
@@ -37,14 +37,26 @@ class NodeConfig:
     ni_kwargs: Dict = field(default_factory=dict)
 
     def validate(self) -> "NodeConfig":
-        if self.ni_bus is BusKind.CACHE and self.ni_name != "NI2w":
+        # Bus-placement rules follow the parsed taxonomy axes, so they hold
+        # across the whole generative space, not just the five paper names.
+        # Custom registered devices with grammar-free names are conservative:
+        # they skip the I/O-bus Qm rule (their homing is unknown) but are
+        # rejected on the cache bus, which only models uncached word NIs.
+        try:
+            spec = parse_ni_name(self.ni_name)
+        except TaxonomyError:
+            spec = None
+        if self.ni_bus is BusKind.CACHE and (
+            spec is None or spec.coherent or spec.unit != "words"
+        ):
             raise NodeConfigError(
-                "only NI2w is modelled on the cache bus (paper Section 5)"
+                f"{self.ni_name}: only uncached word-exposed NIs (NI2w-style "
+                f"NI{{n}}w devices) are modelled on the cache bus (paper Section 5)"
             )
-        if self.ni_bus is BusKind.IO and self.ni_name == "CNI16Qm":
+        if self.ni_bus is BusKind.IO and spec is not None and spec.queue == "Qm":
             raise NodeConfigError(
-                "CNI16Qm cannot be implemented on current coherent I/O buses "
-                "(paper Section 2.3)"
+                f"{self.ni_name}: memory-homed queues cannot be implemented on "
+                f"current coherent I/O buses (paper Section 2.3)"
             )
         # Fail on unknown devices / unsupported device kwargs here, with a
         # TaxonomyError, rather than as a TypeError deep in create_ni().

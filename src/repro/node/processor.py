@@ -9,7 +9,7 @@ workload program as a simulation process.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Generator, Optional
 
 from repro.coherence.cache import CoherentCache
 from repro.common.params import MachineParams

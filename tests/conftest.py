@@ -6,9 +6,7 @@ import pytest
 
 from repro.common.addrmap import AddressMap
 from repro.common.params import DEFAULT_PARAMS, MachineParams
-from repro.common.types import BusKind
 from repro.node.machine import Machine
-from repro.node.node import NodeConfig
 from repro.sim import Simulator
 
 

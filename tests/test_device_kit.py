@@ -1,0 +1,320 @@
+"""End-to-end tests for the composable device kit: new taxonomy points,
+the plugin API, the device-space presets and cache invalidation."""
+
+import pytest
+
+from conftest import build_machine, run_ping_pong, run_stream
+from repro.api import (
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    device_space_sweep,
+    run_point,
+)
+from repro.api.spec import SpecError
+from repro.common.types import BusKind
+from repro.ni import ComposedNI, NI2w, register_device, unregister_device
+from repro.ni.primitives import UncachedRecvPort, UncachedSendPort
+
+#: Taxonomy points the paper never evaluated, all synthesized by the registry.
+NEW_POINTS = ("NI16w", "NI128Q", "CNI64Q", "CNI16", "CNI4Qm")
+
+
+class TestNewTaxonomyPointsRun:
+    @pytest.mark.parametrize("device", NEW_POINTS)
+    def test_macro_workload_completes_through_api(self, device):
+        spec = ExperimentSpec(
+            kind="macro", device=device, bus="memory",
+            workload="em3d", scale=0.25, num_nodes=4,
+        )
+        metrics = run_point(spec).metrics
+        assert metrics["cycles"] > 0
+        assert metrics["network_messages"] > 0
+
+    @pytest.mark.parametrize("device", NEW_POINTS)
+    def test_ping_pong_completes(self, device):
+        machine = build_machine(device, "memory", num_nodes=2)
+        cycles, state = run_ping_pong(machine, payload_bytes=64, rounds=3)
+        assert state["pongs"] == 3 and cycles > 0
+
+    def test_streaming_delivers_in_order_on_generated_devices(self):
+        for device in ("NI16w", "CNI64Q"):
+            machine = build_machine(device, "memory", num_nodes=2)
+            assert run_stream(machine, payload_bytes=244, count=10) == 10
+
+    def test_bigger_coherent_queues_never_slower_to_stream(self):
+        """CNI4Q's single-message queue serializes; CNI64Q pipelines."""
+        m_small = build_machine("CNI4Q", "memory", num_nodes=2)
+        run_stream(m_small, payload_bytes=244, count=16)
+        m_big = build_machine("CNI64Q", "memory", num_nodes=2)
+        run_stream(m_big, payload_bytes=244, count=16)
+        assert m_big.sim.now <= m_small.sim.now
+
+
+class TestGeneratedDeviceMechanics:
+    def test_ni_q_family_pays_explicit_pointer_stores(self):
+        """NI{n}Q publishes tail and head pointers with uncached stores."""
+        m_q = build_machine("NI16Q", "memory", num_nodes=2)
+        run_stream(m_q, payload_bytes=244, count=6)
+        m_w = build_machine("NI16w", "memory", num_nodes=2)
+        run_stream(m_w, payload_bytes=244, count=6)
+        q_tx, w_tx = (m.nodes[0].ni.stats.get("uncached_stores") for m in (m_q, m_w))
+        # One extra store per send (tail pointer); the receive side pays on
+        # node 1.  Word counts are identical otherwise.
+        assert q_tx == w_tx + 6
+        q_rx = m_q.nodes[1].ni.stats.get("uncached_stores")
+        w_rx = m_w.nodes[1].ni.stats.get("uncached_stores")
+        assert q_rx == w_rx + 6
+
+    def test_ni16w_fifo_scales_with_exposed_words(self):
+        machine = build_machine("NI16w", "memory", num_nodes=2)
+        assert machine.nodes[0].ni.fifo_messages == 32  # 2 per exposed word
+
+    def test_cni16_exposes_multiple_cdr_slots(self):
+        machine = build_machine("CNI16", "memory", num_nodes=2)
+        ni = machine.nodes[0].ni
+        assert ni.cdr_blocks == 16
+        assert ni.send_port.slots == 4
+        # Four in-flight messages fit before the sender sees a full device.
+        run_stream(machine, payload_bytes=244, count=12)
+        assert ni.stats.get("messages_sent") == 12
+
+    def test_cni16_streams_faster_than_cni4(self):
+        """Extra CDR slots push out CNI4's single-slot serialization knee."""
+        m4 = build_machine("CNI4", "memory", num_nodes=2)
+        run_stream(m4, payload_bytes=244, count=16)
+        m16 = build_machine("CNI16", "memory", num_nodes=2)
+        run_stream(m16, payload_bytes=244, count=16)
+        assert m16.sim.now < m4.sim.now
+        assert m16.nodes[0].ni.stats.get("send_full") < m4.nodes[0].ni.stats.get("send_full")
+
+    def test_cni4qm_overflows_to_memory(self):
+        machine = build_machine("CNI4Qm", "memory", num_nodes=2)
+        ni = machine.nodes[0].ni
+        assert ni.recv_home == "memory"
+        assert ni.recv_q.capacity == 32   # 32x factor: 128 blocks / 4
+        assert ni.send_q.capacity == 1
+
+
+class TestGeneratedClassHygiene:
+    def test_no_infrastructure_params_leak_into_tunables(self):
+        """The synthesized __init__ must not advertise its self parameter."""
+        from repro.ni import TaxonomyError, available_devices
+
+        for info in available_devices():
+            assert "ni_self" not in info.tunables and "self" not in info.tunables
+        with pytest.raises(TaxonomyError):
+            ExperimentSpec(device="CNI64Q", ni_kwargs={"ni_self": 1}).validate()
+
+    def test_conflicting_fifo_sizing_kwargs_rejected(self):
+        """Both sizing axes at once fail early, at spec/config validation."""
+        from repro.ni import TaxonomyError
+
+        with pytest.raises(TaxonomyError, match="only one of"):
+            build_machine("NI16w", "memory", num_nodes=2,
+                          fifo_messages=4, queue_blocks=64)
+        with pytest.raises(TaxonomyError, match="only one of"):
+            ExperimentSpec(device="NI128Q",
+                           ni_kwargs={"fifo_messages": 4, "queue_blocks": 16}).validate()
+        # A single alternative-axis override suppresses the generated
+        # default instead of conflicting with it.
+        machine = build_machine("NI16w", "memory", num_nodes=2, queue_blocks=64)
+        assert machine.nodes[0].ni.fifo_messages == 16
+        machine = build_machine("NI128Q", "memory", num_nodes=2, fifo_messages=8)
+        assert machine.nodes[0].ni.fifo_messages == 8
+
+    def test_zero_or_negative_queue_blocks_rejected(self):
+        from repro.ni import NIError
+
+        for bad in (0, -4):
+            with pytest.raises(NIError, match="whole positive number"):
+                build_machine("NI16Q", "memory", num_nodes=2, queue_blocks=bad)
+
+    def test_partial_cdr_slot_sizing_rejected(self):
+        from repro.ni import NIError
+
+        with pytest.raises(NIError, match="whole number"):
+            build_machine("CNI4", "memory", num_nodes=2, cdr_blocks=6)
+
+    def test_synthesized_classes_pickle(self):
+        import pickle
+
+        from repro.ni import device_class
+
+        cls = device_class("CNI64Q")
+        assert pickle.loads(pickle.dumps(cls)) is cls
+        assert cls.__module__ == "repro.ni.registry"
+
+    def test_case_hint_only_suggests_legal_names(self):
+        from repro.ni import TaxonomyError, parse_ni_name
+
+        with pytest.raises(TaxonomyError) as excinfo:
+            parse_ni_name("cni4w")  # case-fixed CNI4w is itself illegal
+        assert "did you mean" not in str(excinfo.value)
+        with pytest.raises(TaxonomyError, match="did you mean 'CNI4'"):
+            parse_ni_name("cni4")
+
+
+class TestBusPlacementRules:
+    def test_generated_word_devices_allowed_on_cache_bus(self):
+        machine = build_machine("NI16w", "cache", num_nodes=2)
+        cycles, state = run_ping_pong(machine, payload_bytes=64, rounds=2)
+        assert state["pongs"] == 2 and cycles > 0
+
+    def test_generated_block_devices_rejected_on_cache_bus(self):
+        from repro.node.node import NodeConfig, NodeConfigError
+
+        for name in ("NI128Q", "CNI64Q"):
+            with pytest.raises(NodeConfigError):
+                NodeConfig(ni_name=name, ni_bus=BusKind.CACHE).validate()
+
+    def test_generated_qm_devices_rejected_on_io_bus(self):
+        from repro.node.node import NodeConfig, NodeConfigError
+
+        with pytest.raises(NodeConfigError):
+            NodeConfig(ni_name="CNI4Qm", ni_bus=BusKind.IO).validate()
+
+    def test_generated_q_devices_allowed_on_io_bus(self):
+        machine = build_machine("CNI64Q", "io", num_nodes=2)
+        cycles, state = run_ping_pong(machine, payload_bytes=64, rounds=2)
+        assert state["pongs"] == 2 and cycles > 0
+
+
+class TestPluginDevices:
+    def test_composed_plugin_runs_a_workload(self):
+        @register_device("KitTestNI")
+        class KitTestNI(ComposedNI):
+            taxonomy_name = "KitTestNI"
+
+            def __init__(self, *args, fifo_messages=8, **kwargs):
+                super().__init__(*args, **kwargs)
+                send_status = self.allocate_uncached_register()
+                send_data = self.allocate_uncached_register()
+                recv_status = self.allocate_uncached_register()
+                recv_data = self.allocate_uncached_register()
+                self._attach_ports(
+                    UncachedSendPort(self, send_data, send_status, fifo_messages),
+                    UncachedRecvPort(self, recv_data, recv_status, fifo_messages),
+                )
+
+        try:
+            spec = ExperimentSpec(
+                kind="macro", device="KitTestNI", bus="memory",
+                workload="em3d", scale=0.25, num_nodes=4,
+            )
+            assert run_point(spec).metrics["cycles"] > 0
+        finally:
+            unregister_device("KitTestNI")
+
+    def test_plugin_can_shadow_a_generative_point(self):
+        from repro.ni import device_class
+
+        generated = device_class("NI8w")
+
+        @register_device("NI8w")
+        class CustomNI8w(NI2w):
+            taxonomy_name = "NI8w"
+
+        try:
+            assert device_class("NI8w") is CustomNI8w
+        finally:
+            unregister_device("NI8w")
+        assert device_class("NI8w") is generated
+
+    def test_example_plugin_registers_hybrid_device(self):
+        """examples/custom_protocol.py's plugin builds and delivers."""
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / "examples" / "custom_protocol.py"
+        loader = importlib.util.spec_from_file_location("custom_protocol", path)
+        module = importlib.util.module_from_spec(loader)
+        loader.loader.exec_module(module)
+        try:
+            machine = build_machine("HybridNI", "memory", num_nodes=2)
+            assert run_stream(machine, payload_bytes=244, count=6) == 6
+            # Coherent send path: message-ready uncached stores, not words.
+            assert machine.nodes[0].ni.stats.get("message_ready_signals") == 6
+        finally:
+            unregister_device("HybridNI")
+
+
+class TestDeviceSpaceSweep:
+    def test_expansion_and_validation(self):
+        sweep = device_space_sweep(kind="latency", families=("CNIQ",), sizes=(4, 16))
+        devices = [p.device for p in sweep]
+        assert devices == ["CNI4Q", "CNI16Q"]
+        with pytest.raises(SpecError):
+            device_space_sweep(families=("bogus",))
+
+    def test_illegal_size_fails_at_expansion(self):
+        from repro.ni import TaxonomyError
+
+        with pytest.raises(TaxonomyError):
+            device_space_sweep(families=("CNIQ",), sizes=(6,)).expand()
+
+    def test_runs_across_families(self):
+        results = SweepRunner().run(
+            device_space_sweep(
+                kind="bandwidth", families=("NIw", "CNIQ"), sizes=(4,),
+                messages=8, warmup=2,
+            )
+        )
+        by_device = {r.spec.device: r.metrics["bandwidth_mbps"] for r in results}
+        assert set(by_device) == {"NI4w", "CNI4Q"}
+        assert by_device["CNI4Q"] > by_device["NI4w"]
+
+
+class TestCacheSchemaInvalidation:
+    def test_schema_bump_invalidates_entries(self, tmp_path, monkeypatch):
+        spec = ExperimentSpec(kind="latency", device="NI2w", message_bytes=16,
+                              iterations=2, warmup=1)
+        cache = ResultCache(str(tmp_path))
+        cache.put(run_point(spec))
+        assert cache.get(spec) is not None
+
+        import repro.api.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "DEVICE_SCHEMA_VERSION",
+                            cache_module.DEVICE_SCHEMA_VERSION + 1)
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(spec) is None  # key no longer matches
+
+    def test_schema_version_stamped_in_payload(self, tmp_path):
+        import json
+
+        from repro.ni import DEVICE_SCHEMA_VERSION
+
+        spec = ExperimentSpec(kind="latency", device="NI2w", message_bytes=16,
+                              iterations=2, warmup=1)
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(run_point(spec))
+        payload = json.loads(open(path).read())
+        assert payload["device_schema_version"] == DEVICE_SCHEMA_VERSION
+
+    def test_stale_payload_stamp_is_a_miss(self, tmp_path):
+        import json
+
+        spec = ExperimentSpec(kind="latency", device="NI2w", message_bytes=16,
+                              iterations=2, warmup=1)
+        cache = ResultCache(str(tmp_path))
+        path = cache.put(run_point(spec))
+        payload = json.loads(open(path).read())
+        payload["device_schema_version"] = -1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert cache.get(spec) is None
+
+
+class TestMachineDeviceSpace:
+    def test_machine_enumerates_devices(self):
+        from repro.node.machine import Machine
+
+        names = {info.name for info in Machine.available_devices()}
+        assert {"NI2w", "NI16w", "NI128Q", "CNI64Q"} <= names
+
+    def test_machine_device_info(self):
+        machine = build_machine("CNI64Q", "memory", num_nodes=2)
+        infos = machine.device_info()
+        assert len(infos) == 2
+        assert all(info.exposed_size == 64 and info.queue == "Q" for info in infos)

@@ -1,9 +1,7 @@
 """Tests for coherent I/O-bus placement and the I/O bridge behaviour."""
 
-import pytest
 
 from conftest import build_machine, run_ping_pong, run_stream
-from repro.common.types import BusKind
 
 
 class TestIOBusPlacement:

@@ -5,8 +5,7 @@ import pytest
 from conftest import build_machine
 from repro.common.types import BusKind, CoherenceState
 from repro.node.machine import Machine, WorkloadHangError
-from repro.node.node import Node, NodeConfig, NodeConfigError
-from repro.sim import start_process
+from repro.node.node import Node, NodeConfig
 
 
 class TestMachineConstruction:

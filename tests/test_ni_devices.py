@@ -3,8 +3,7 @@
 import pytest
 
 from conftest import build_machine, run_ping_pong, run_stream
-from repro.common.types import BusKind, CoherenceState, NetworkMessage
-from repro.ni import CNI16Qm, CoherentQueueNI, NI2w
+from repro.common.types import BusKind
 from repro.sim import start_process
 
 

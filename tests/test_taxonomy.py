@@ -66,6 +66,37 @@ class TestParser:
         with pytest.raises(TaxonomyError):
             parse_ni_name("NI16Qm")
 
+    # ------------------------------------------------------------------
+    # Edge cases: every rejection names the offending grammar field.
+    # ------------------------------------------------------------------
+    def test_zero_size_names_size_field(self):
+        with pytest.raises(TaxonomyError, match="size"):
+            parse_ni_name("NI0")
+
+    @pytest.mark.parametrize("aliased", ["NI04", "CNI016Q"])
+    def test_leading_zero_sizes_rejected(self, aliased):
+        """'NI04' must not alias 'NI4' into a distinct cacheable device."""
+        with pytest.raises(TaxonomyError, match="leading zeros"):
+            parse_ni_name(aliased)
+
+    def test_word_sized_coherent_device_names_unit_field(self):
+        with pytest.raises(TaxonomyError, match="unit"):
+            parse_ni_name("CNI4w")
+
+    @pytest.mark.parametrize("lower", ["cni4", "ni2W", "CNI16qm", "cNi16Q"])
+    def test_lowercase_names_rejected_with_case_hint(self, lower):
+        with pytest.raises(TaxonomyError, match="case-sensitive"):
+            parse_ni_name(lower)
+
+    @pytest.mark.parametrize("bad", ["NI4wQm", "NI4wQ"])
+    def test_queue_suffix_on_word_sized_device_names_queue_field(self, bad):
+        with pytest.raises(TaxonomyError, match="queue"):
+            parse_ni_name(bad)
+
+    def test_memory_home_on_uncoherent_device_names_queue_field(self):
+        with pytest.raises(TaxonomyError, match="queue"):
+            parse_ni_name("NI16Qm")
+
     def test_describe_mentions_key_attributes(self):
         text = parse_ni_name("CNI16Qm").describe()
         assert "coherent" in text and "16" in text and "memory" in text
@@ -94,9 +125,21 @@ class TestFactory:
         assert device_class("CNI512Q") is CNI512Q
         assert device_class("CNI16Qm") is CNI16Qm
 
-    def test_unknown_device_rejected(self):
+    def test_any_legal_taxonomy_point_resolves(self):
+        """The registry synthesizes classes for the whole generative space."""
+        for name in ("CNI1024Q", "NI16w", "NI128Q", "CNI64Q", "CNI16", "CNI4Qm"):
+            cls = device_class(name)
+            assert issubclass(cls, AbstractNI)
+            assert cls.taxonomy_name == name
+
+    def test_synthesized_classes_are_memoised(self):
+        assert device_class("CNI64Q") is device_class("CNI64Q")
+
+    def test_illegal_names_still_rejected(self):
         with pytest.raises(TaxonomyError):
-            device_class("CNI1024Q")
+            device_class("CNI6Q")  # not a whole number of 4-block messages
+        with pytest.raises(TaxonomyError):
+            device_class("NX4")
 
     def test_evaluated_device_list_matches_paper(self):
         assert EVALUATED_DEVICES == ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
@@ -152,6 +195,94 @@ class TestFactory:
     def test_register_non_ni_class_rejected(self):
         with pytest.raises(TaxonomyError):
             register_device("bogus", int)
+
+
+class TestRegistry:
+    """The declarative DeviceSpec registry behind the generative space."""
+
+    def test_device_spec_plans_every_family(self):
+        from repro.ni.registry import DeviceSpec
+
+        assert DeviceSpec.from_name("NI16w").family == "uncached"
+        assert DeviceSpec.from_name("NI16w").ni_defaults == {"fifo_messages": 32}
+        assert DeviceSpec.from_name("NI128Q").ni_defaults == {
+            "queue_blocks": 128, "explicit_pointers": True,
+        }
+        assert DeviceSpec.from_name("CNI16").family == "cdr"
+        assert DeviceSpec.from_name("CNI64Q").ni_defaults["recv_home"] == "device"
+        qm = DeviceSpec.from_name("CNI4Qm")
+        assert qm.ni_defaults == {
+            "send_queue_blocks": 4, "recv_queue_blocks": 128,
+            "recv_cache_blocks": 4, "recv_home": "memory",
+        }
+
+    def test_paper_devices_plan_matches_their_handwritten_classes(self):
+        """The generative plan for the paper names mirrors the pinned classes."""
+        from repro.ni.registry import DeviceSpec
+
+        assert DeviceSpec.from_name("NI2w").ni_defaults == {"fifo_messages": 4}
+        assert DeviceSpec.from_name("CNI4").ni_defaults == {"cdr_blocks": 4}
+        assert DeviceSpec.from_name("CNI16Q").ni_defaults == {
+            "send_queue_blocks": 16, "recv_queue_blocks": 16,
+            "recv_cache_blocks": 16, "recv_home": "device",
+        }
+        assert DeviceSpec.from_name("CNI16Qm").ni_defaults == {
+            "send_queue_blocks": 16, "recv_queue_blocks": 512,
+            "recv_cache_blocks": 16, "recv_home": "memory",
+        }
+
+    def test_register_device_decorator_form(self):
+        from repro.ni import NI2w, register_device, unregister_device
+
+        @register_device("TestPluginNI")
+        class PluginNI(NI2w):
+            taxonomy_name = "TestPluginNI"
+
+        try:
+            assert device_class("TestPluginNI") is PluginNI
+        finally:
+            unregister_device("TestPluginNI")
+        with pytest.raises(TaxonomyError):
+            device_class("TestPluginNI")
+
+    def test_unregister_restores_shadowed_paper_devices(self):
+        from repro.ni import NI2w, register_device, unregister_device
+
+        class ShadowNI(NI2w):
+            taxonomy_name = "NI2w"
+
+        register_device("NI2w", ShadowNI)
+        try:
+            assert device_class("NI2w") is ShadowNI
+        finally:
+            unregister_device("NI2w")
+        assert device_class("NI2w") is NI2w
+
+    def test_available_devices_enumerates_generative_space(self):
+        infos = {info.name: info for info in available_devices()}
+        # Classified machines from the paper's Section 3 are all buildable.
+        for name in ("NI2w", "NI16w", "NI128Q"):
+            assert name in infos
+        assert infos["NI16w"].generated and not infos["NI2w"].generated
+        assert "generated" in infos["NI16w"].describe()
+        names = [info.name for info in available_devices()]
+        assert names == sorted(names)
+        # The non-generative view is the registered-only view.
+        registered = available_devices(generative=False)
+        assert all(not info.generated for info in registered)
+
+    def test_generative_sample_all_plan_cleanly(self):
+        from repro.ni.registry import GENERATIVE_SAMPLE, DeviceSpec
+
+        for name in GENERATIVE_SAMPLE:
+            spec = DeviceSpec.from_name(name)
+            assert spec.name == name
+            assert spec.family in ("uncached", "cdr", "cq")
+
+    def test_device_schema_version_exported(self):
+        from repro.ni import DEVICE_SCHEMA_VERSION
+
+        assert isinstance(DEVICE_SCHEMA_VERSION, int) and DEVICE_SCHEMA_VERSION >= 2
 
 
 class TestNiKwargsValidation:
