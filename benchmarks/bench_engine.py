@@ -56,9 +56,7 @@ _KERNEL_PATCH_POINTS = (
     ("repro.node.processor", "start_process"),
     ("repro.ni.base", "Signal"),
     ("repro.ni.base", "start_process"),
-    ("repro.ni.ni2w", "Signal"),
-    ("repro.ni.cni4", "Signal"),
-    ("repro.ni.cniq", "Signal"),
+    ("repro.ni.primitives", "Signal"),
     ("repro.network.fabric", "Signal"),
     ("repro.coherence.bus", "Resource"),
 )

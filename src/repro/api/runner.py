@@ -153,6 +153,9 @@ def _run_engine(spec: ExperimentSpec) -> Dict[str, float]:
         "lane_events": float(result.lane_events),
         "heap_events": float(result.heap_events),
         "pool_reuses": float(result.pool_reuses),
+        "elided_events": float(result.elided_events),
+        "elided_cycles": float(result.elided_cycles),
+        "elided_fraction": result.elided_fraction,
     }
 
 
@@ -270,6 +273,22 @@ class SweepRunner:
         return self.run([spec])[0]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _point_cost(spec: ExperimentSpec) -> float:
+        """Rough relative wall-clock cost of one experiment point.
+
+        Used only to order parallel work, so precision does not matter —
+        just the gross ranking: macro (and engine) workload runs dwarf
+        bandwidth streams, which dwarf latency ping-pongs, and each kind
+        scales with its own size knob plus the number of nodes simulated.
+        """
+        nodes = max(1, spec.num_nodes)
+        if spec.kind in ("macro", "engine"):
+            return 1_000_000.0 * spec.scale * nodes
+        if spec.kind == "bandwidth":
+            return 1_000.0 * spec.messages * max(1, spec.message_bytes) / 256.0
+        return 10.0 * spec.iterations * max(1, spec.message_bytes) / 256.0
+
     def _run_parallel(
         self, pending: Sequence[ExperimentSpec]
     ) -> Iterator[Tuple[ExperimentSpec, RunResult]]:
@@ -277,9 +296,13 @@ class SweepRunner:
 
         ``imap_unordered`` streams completions (so progress callbacks fire
         per point, not after the whole batch); the caller re-keys results
-        by spec hash, so completion order does not matter.
+        by spec hash, so completion order does not matter.  Points are fed
+        to the pool most-expensive first: spec order tends to put the heavy
+        macro points last, and a straggler macro point picked up when the
+        rest of the pool is already draining serializes the whole tail.
         """
         payloads = [(index, spec.to_dict()) for index, spec in enumerate(pending)]
+        payloads.sort(key=lambda item: self._point_cost(pending[item[0]]), reverse=True)
         workers = min(self.jobs, len(payloads))
         with multiprocessing.Pool(processes=workers) as pool:
             for index, data in pool.imap_unordered(_run_point_indexed, payloads):

@@ -100,11 +100,13 @@ class Workload(abc.ABC):
 
 
 def poll_until(ml, done_predicate, backoff: int = 20):
-    """Poll the messaging layer until ``done_predicate()`` is true."""
-    while not done_predicate():
-        got = yield from ml.poll()
-        if not got:
-            yield backoff
+    """Poll the messaging layer until ``done_predicate()`` is true.
+
+    A blocking wait: on coherent-queue devices whose empty poll hits in the
+    processor cache, steady spins are elided into an event-driven sleep with
+    bit-identical simulated timing (see :meth:`MessagingLayer.poll_wait`).
+    """
+    yield from ml.poll_wait(done_predicate, backoff=backoff)
 
 
 def drain_completed(ml, backoff: int = 20):

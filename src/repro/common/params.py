@@ -113,6 +113,13 @@ class MachineParams:
     # Optional global features
     data_snarfing: bool = False
 
+    #: Elide steady busy-poll spins into event-driven blocking waits (see
+    #: :mod:`repro.sim.spinwait`).  Bit-identical to spinning — simulated
+    #: cycles, bus occupancies and device counters do not change — but the
+    #: kernel executes far fewer events on poll-heavy runs.  The off path
+    #: is preserved for A/B measurement, like the legacy kernel.
+    spin_elision: bool = True
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------

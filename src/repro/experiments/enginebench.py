@@ -36,10 +36,18 @@ class EngineBenchResult:
     lane_events: int
     heap_events: int
     pool_reuses: int
+    elided_events: int = 0
+    elided_cycles: int = 0
 
     @property
     def lane_fraction(self) -> float:
         return self.lane_events / self.events if self.events else 0.0
+
+    @property
+    def elided_fraction(self) -> float:
+        """Fraction of would-be kernel events elided by spin-wait elision."""
+        total = self.events + self.elided_events
+        return self.elided_events / total if total else 0.0
 
 
 def kernel_throughput(
@@ -75,4 +83,6 @@ def kernel_throughput(
         lane_events=int(profile["lane_events"]),
         heap_events=int(profile["heap_events"]),
         pool_reuses=int(profile["pool_reuses"]),
+        elided_events=int(profile.get("elided_events", 0)),
+        elided_cycles=int(profile.get("elided_cycles", 0)),
     )

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Union
 
 from repro.common.types import BusKind
 from repro.node.machine import Machine
-from repro.sim import Delay
 
 
 class MicrobenchmarkError(RuntimeError):
@@ -125,18 +124,17 @@ def round_trip_latency(
         for round_index in range(total_rounds):
             start = sim.now
             yield from ml0.send_active_message(1, "ping", message_bytes)
-            while pongs["count"] <= round_index:
-                got = yield from ml0.poll()
-                if not got:
-                    yield Delay(_POLL_BACKOFF)
+            yield from ml0.poll_wait(
+                lambda round_index=round_index: pongs["count"] > round_index,
+                backoff=_POLL_BACKOFF,
+            )
             if round_index >= warmup:
                 samples.append(sim.now - start)
 
     def responder():
-        while pings["count"] < total_rounds:
-            got = yield from ml1.poll()
-            if not got:
-                yield Delay(_POLL_BACKOFF)
+        yield from ml1.poll_wait(
+            lambda: pings["count"] >= total_rounds, backoff=_POLL_BACKOFF
+        )
 
     machine.run_programs({0: sender(), 1: responder()}, max_cycles=max_cycles)
     if len(samples) != iterations:
@@ -205,10 +203,9 @@ def bandwidth(
         marks["send_done"] = machine.sim.now
 
     def receiver():
-        while received["count"] < total:
-            got = yield from ml1.poll()
-            if not got:
-                yield Delay(_POLL_BACKOFF)
+        yield from ml1.poll_wait(
+            lambda: received["count"] >= total, backoff=_POLL_BACKOFF
+        )
 
     machine.run_programs({0: sender(), 1: receiver()}, max_cycles=max_cycles)
     if received["end"] is None or "start" not in marks:

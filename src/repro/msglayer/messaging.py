@@ -16,7 +16,12 @@ built from them).  This module provides that layer:
   need this buffering;
 * **barriers and broadcasts** — helpers used by the macrobenchmark
   skeletons (gauss' one-to-all pivot broadcast, moldyn's reduction, the
-  end-of-phase barriers of all five applications).
+  end-of-phase barriers of all five applications);
+* **blocking waits** — every poll/backoff loop (``poll_wait``, ``poll_n``,
+  barriers, the blocked-send retry) runs through
+  :func:`repro.sim.spin_wait`, which elides steady cached-poll spins into
+  event-driven sleeps on the device's arrival signal with bit-identical
+  simulated timing (the paper's virtual-polling argument, Sections 3-5).
 """
 
 from __future__ import annotations
@@ -30,7 +35,15 @@ from repro.common.params import MachineParams
 from repro.common.types import NetworkMessage
 from repro.ni.base import AbstractNI
 from repro.node.processor import Processor
-from repro.sim import Counter, Simulator
+from repro.sim import (
+    SPIN_EMPTY,
+    SPIN_PROGRESS,
+    SPIN_TRANSIENT,
+    Counter,
+    Simulator,
+    SpinGuard,
+    spin_wait,
+)
 
 
 class MessagingError(RuntimeError):
@@ -99,10 +112,15 @@ class MessagingLayer:
         self._handlers: Dict[str, Callable] = {}
         self._msg_ids = itertools.count()
         self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
-        #: Messages drained from the NI while a send was blocked.
-        self._software_buffer: "deque[NetworkMessage]" = deque()
+        #: ``(message, buffer address)`` pairs drained from the NI while a
+        #: send was blocked; the address is where the copy was written, so
+        #: the later poll re-reads the same cache lines.
+        self._software_buffer: "deque[Tuple[NetworkMessage, int]]" = deque()
         self._software_buffer_base = dram_allocator.allocate_blocks(SOFTWARE_BUFFER_BLOCKS)
         self._software_buffer_next = 0
+        # Spin-wait elision guards (None when disabled or the device's
+        # polls are not pure cached reads; see repro.sim.spinwait).
+        self._recv_spin_guard, self._send_spin_guard = self._build_spin_guards()
         # Barrier state.
         self._barrier_seq = 0
         self._barrier_arrivals: Dict[int, int] = {}
@@ -112,6 +130,76 @@ class MessagingLayer:
         # Filled in by the machine so barriers know the world size and the
         # root node's messaging layer is addressable.
         self.num_nodes = params.num_nodes
+
+    # ------------------------------------------------------------------
+    # Spin-wait elision wiring
+    # ------------------------------------------------------------------
+    def _build_spin_guards(self) -> Tuple[Optional[SpinGuard], Optional[SpinGuard]]:
+        """Build the (receive, blocked-send) elision guards for this node.
+
+        A guard exists only when ``params.spin_elision`` is on and the
+        device's port declares its spin iterations elidable (pure cached
+        polls — the CQ family).  Devices without ports (custom plugins) or
+        with uncached polls (NI2w, CNI4) get no guard and simply spin.
+        """
+        if not self.params.spin_elision:
+            return None, None
+        ni = self.ni
+        signal = getattr(ni, "arrival_signal", None)
+        cache = getattr(ni, "_proc_cache", None)
+        interconnect = getattr(ni, "interconnect", None)
+        if signal is None or cache is None or interconnect is None:
+            return None, None
+        recv_port = getattr(ni, "recv_port", None)
+        send_port = getattr(ni, "send_port", None)
+        # Counters a pure spin iteration can touch; their measured deltas
+        # are replayed arithmetically for elided iterations.
+        counters = (
+            cache.stats.raw,
+            ni.stats.raw,
+            self.stats.raw,
+            self.processor.stats.raw,
+        )
+        txn_counts = interconnect.stats.raw
+        device_stats = ni.stats.raw
+        # Asynchronous activity that leaves no bus transaction behind but
+        # could pollute a measured iteration's counter deltas: fabric
+        # deliveries, window acks, and device-side arrival transitions.
+        ni_counts = ni.stats.raw
+        window = getattr(ni, "window", None)
+        probes = [
+            lambda _c=ni_counts: _c.get("network_arrivals", 0),
+            lambda _c=ni_counts: _c.get("window_stalls", 0),
+            lambda: signal.fire_count,
+        ]
+        if window is not None:
+            probes.append(lambda _s=window.slot_freed: _s.fire_count)
+            probes.append(lambda _c=window.stats.raw: _c.get("reservations", 0))
+        recv_elidable = recv_port is not None and getattr(recv_port, "elidable", False)
+        recv_guard = None
+        if recv_elidable:
+            recv_guard = SpinGuard(
+                self.sim, signal, recv_port.spin_steady, counters,
+                txn_counts, device_stats, probes,
+            )
+        send_guard = None
+        if (
+            send_port is not None
+            and getattr(send_port, "elidable", False)
+            and getattr(ni, "recv_home", "device") == "memory"
+        ):
+            # Only the drain-free blocked-send loop is elidable: devices
+            # that overflow to memory (CNI16Qm) never drain, so a blocked
+            # iteration is just the cached tail/head check and its head
+            # observation sits one cycle into the iteration (resume_margin).
+            # Devices whose blocked sender drains through proc_poll observe
+            # the receive queue several cycles into each iteration — too
+            # deep to resume exactly from a sleep — so they keep spinning.
+            send_guard = SpinGuard(
+                self.sim, signal, send_port.spin_steady, counters,
+                txn_counts, device_stats, probes, resume_margin=1,
+            )
+        return recv_guard, send_guard
 
     # ------------------------------------------------------------------
     # Handler registry
@@ -186,21 +274,38 @@ class MessagingLayer:
         self.stats.add("broadcasts")
 
     def _send_network_message(self, netmsg: NetworkMessage):
-        """Push one network message into the NI, draining if blocked."""
-        attempts = 0
-        while True:
+        """Push one network message into the NI, draining if blocked.
+
+        The retry loop runs through :func:`repro.sim.spin_wait`: once the
+        blocked attempt settles into a pure cached spin (CQ devices whose
+        space check and drain poll both hit in the processor cache), the
+        sender blocks on the device's arrival signal instead of spinning,
+        cycle-for-cycle identical to the spinning loop.
+        """
+        sent = [False]
+        attempts = [0]
+
+        def attempt():
             accepted = yield from self.ni.proc_try_send(netmsg)
             if accepted:
                 self._counts["network_messages_sent"] += 1
-                return
-            attempts += 1
+                sent[0] = True
+                return SPIN_PROGRESS
+            attempts[0] += 1
             self._counts["send_blocked"] += 1
-            if attempts <= DRAIN_AFTER_RETRIES:
+            if attempts[0] <= DRAIN_AFTER_RETRIES:
                 # Transient busy (e.g. the device is still pulling the
                 # previous message): just spin on the send interface.
-                yield SEND_RETRY_BACKOFF_CYCLES
-            else:
-                yield from self._drain_while_blocked()
+                return SPIN_TRANSIENT
+            return (yield from self._drain_while_blocked())
+
+        yield from spin_wait(
+            self.sim,
+            lambda: sent[0],
+            attempt,
+            SEND_RETRY_BACKOFF_CYCLES,
+            self._send_spin_guard,
+        )
 
     def _drain_while_blocked(self):
         """Deadlock avoidance while a send is blocked.
@@ -208,19 +313,21 @@ class MessagingLayer:
         Devices that overflow to main memory automatically (CNI16Qm) do not
         require the processor to extract messages; everything else drains
         one message from the NI into the user-space software buffer.
+        Returns :data:`SPIN_PROGRESS` when a message was buffered (the
+        caller retries immediately) and :data:`SPIN_EMPTY` otherwise (the
+        caller backs off).
         """
         if getattr(self.ni, "recv_home", "device") == "memory":
-            yield SEND_RETRY_BACKOFF_CYCLES
-            return
+            return SPIN_EMPTY
         message = yield from self.ni.proc_poll()
         if message is None:
-            yield SEND_RETRY_BACKOFF_CYCLES
-            return
+            return SPIN_EMPTY
         # Copy the message into user-space memory (paying the store traffic).
         buffer_addr = self._next_buffer_addr()
         yield from self.processor.touch_write(buffer_addr, self.ni.wire_bytes(message))
-        self._software_buffer.append(message)
+        self._software_buffer.append((message, buffer_addr))
         self.stats.add("messages_software_buffered")
+        return SPIN_PROGRESS
 
     def _next_buffer_addr(self) -> int:
         block = self.params.cache_block_bytes
@@ -238,10 +345,12 @@ class MessagingLayer:
         completed a user-level message), False if nothing was available.
         """
         if self._software_buffer:
-            message = self._software_buffer.popleft()
-            # Re-read the buffered copy from user-space memory.
+            message, buffer_addr = self._software_buffer.popleft()
+            # Re-read the buffered copy from the user-space address it was
+            # written to (not the buffer base — reading the wrong lines
+            # used to touch a cache set the copy never occupied).
             yield from self.processor.touch_read(
-                self._software_buffer_base, self.ni.wire_bytes(message)
+                buffer_addr, self.ni.wire_bytes(message)
             )
             self.stats.add("software_buffer_polls")
         else:
@@ -252,15 +361,33 @@ class MessagingLayer:
         yield from self._handle_fragment(message)
         return True
 
+    def poll_wait(self, predicate, backoff: int = SEND_RETRY_BACKOFF_CYCLES):
+        """Poll until ``predicate()`` is true (generator).
+
+        The blocking-wait form of the classic poll/backoff spin: on devices
+        whose empty poll is a pure cached read, steady spins are elided
+        into an event-driven sleep on the device's arrival signal, with
+        bit-identical simulated timing (see :mod:`repro.sim.spinwait`).
+        """
+        yield from spin_wait(self.sim, predicate, self.poll, backoff, self._recv_spin_guard)
+
     def poll_n(self, count: int):
         """Poll until ``count`` messages have been consumed."""
-        consumed = 0
-        while consumed < count:
+        consumed = [0]
+
+        def body():
             got = yield from self.poll()
             if got:
-                consumed += 1
-            else:
-                yield SEND_RETRY_BACKOFF_CYCLES
+                consumed[0] += 1
+            return got
+
+        yield from spin_wait(
+            self.sim,
+            lambda: consumed[0] >= count,
+            body,
+            SEND_RETRY_BACKOFF_CYCLES,
+            self._recv_spin_guard,
+        )
 
     def _handle_fragment(self, message: NetworkMessage):
         fragment = message.body
@@ -314,19 +441,15 @@ class MessagingLayer:
         if self.node_id == 0:
             # Root: count arrivals from everyone else, then release.
             self._barrier_arrivals.setdefault(seq, 0)
-            while self._barrier_arrivals.get(seq, 0) < world - 1:
-                got = yield from self.poll()
-                if not got:
-                    yield SEND_RETRY_BACKOFF_CYCLES
+            yield from self.poll_wait(
+                lambda: self._barrier_arrivals.get(seq, 0) >= world - 1
+            )
             for dest in range(1, world):
                 yield from self.send_active_message(dest, "__barrier_release", 8, (seq,))
             self._barrier_arrivals.pop(seq, None)
         else:
             yield from self.send_active_message(0, "__barrier_arrive", 8, (seq,))
-            while not self._barrier_released.get(seq, False):
-                got = yield from self.poll()
-                if not got:
-                    yield SEND_RETRY_BACKOFF_CYCLES
+            yield from self.poll_wait(lambda: self._barrier_released.get(seq, False))
             self._barrier_released.pop(seq, None)
         self.stats.add("barriers")
 

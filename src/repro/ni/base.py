@@ -112,6 +112,14 @@ class AbstractNI(abc.ABC):
         self._net_in: "deque[NetworkMessage]" = deque()
         self._net_in_signal = Signal(sim, name=f"{self.name}.net-in")
         self._inject_signal = Signal(sim, name=f"{self.name}.inject")
+        #: Message-arrival / spin-activity signal.  Fired whenever the local
+        #: processor's blocking waits should re-examine the device: a message
+        #: became visible through the receive interface, send-side space was
+        #: freed, or (once the processor cache is bound) the processor cache
+        #: snooped any bus transaction — the virtual-polling hook of the
+        #: paper's coherent interfaces.  Spin-wait elision sleeps on this
+        #: signal instead of busy-polling (see :mod:`repro.sim.spinwait`).
+        self.arrival_signal = Signal(sim, name=f"{self.name}.arrival")
         fabric.attach(node_id, self._on_network_message, self.window.on_ack)
 
         self._uncached_load_extra = params.uncached_load_extra_cycles.get(bus_kind, 0)
@@ -281,6 +289,29 @@ class AbstractNI(abc.ABC):
 
     def bind_processor_cache(self, cache) -> None:
         self._proc_cache = cache
+        if self.params.spin_elision and self._has_elidable_port():
+            # Virtual polling: any transaction the processor cache snoops can
+            # invalidate a polled line, so it must wake sleeping spin-waiters.
+            # Devices without an elidable port never sleep, so they skip the
+            # per-snoop listener cost entirely.
+            previous = cache.snoop_listener
+            fire = self.arrival_signal.fire
+            if previous is None:
+                cache.snoop_listener = lambda txn: fire()
+            else:
+                def chained(txn, _previous=previous, _fire=fire):
+                    _previous(txn)
+                    _fire()
+
+                cache.snoop_listener = chained
+
+    def _has_elidable_port(self) -> bool:
+        """Whether any port of this device supports spin-wait elision
+        (mirrors the guard-eligibility check in the messaging layer)."""
+        return bool(
+            getattr(getattr(self, "recv_port", None), "elidable", False)
+            or getattr(getattr(self, "send_port", None), "elidable", False)
+        )
 
     def describe(self) -> str:
         return f"{self.taxonomy_name} on the {self.bus_kind.value} bus (node {self.node_id})"

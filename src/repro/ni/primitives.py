@@ -35,7 +35,7 @@ import abc
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-from repro.common.types import NetworkMessage
+from repro.common.types import CoherenceState, NetworkMessage
 from repro.ni.base import DEVICE_PROCESSING_CYCLES
 from repro.sim import Signal
 
@@ -58,8 +58,21 @@ def slot_block_prefixes(blocks: List[int], blocks_per_slot: int) -> List[List[Li
 class SendPort(abc.ABC):
     """Processor→network half of a device: accepts messages, injects them."""
 
+    #: True when a *blocked* send retry is a pure cached check, so the
+    #: retry spin can be elided into a blocking wait on the device's
+    #: arrival signal (see :mod:`repro.sim.spinwait`).  Ports whose space
+    #: check is an uncached register access must keep spinning.
+    elidable = False
+
     def __init__(self, ni):
         self.ni = ni
+
+    def spin_steady(self) -> bool:
+        """True while a blocked-send retry would provably fail identically.
+
+        Only meaningful on ``elidable`` ports; the default is never steady.
+        """
+        return False
 
     @abc.abstractmethod
     def proc_try_send(self, message: NetworkMessage):
@@ -79,8 +92,21 @@ class SendPort(abc.ABC):
 class RecvPort(abc.ABC):
     """Network→processor half of a device: accepts arrivals, hands them up."""
 
+    #: True when an *empty* poll is a pure cached read (the paper's virtual
+    #: polling), so the poll spin can be elided into a blocking wait on the
+    #: device's arrival signal.  Uncached-status polls occupy the bus on
+    #: every iteration and must keep spinning.
+    elidable = False
+
     def __init__(self, ni):
         self.ni = ni
+
+    def spin_steady(self) -> bool:
+        """True while an empty poll would provably repeat identically.
+
+        Only meaningful on ``elidable`` ports; the default is never steady.
+        """
+        return False
 
     @abc.abstractmethod
     def proc_poll(self):
@@ -228,6 +254,7 @@ class UncachedRecvPort(RecvPort):
             self.fifo.append(message)
             ni.stats.add("messages_accepted")
             ni._ack(message)
+            ni.arrival_signal.fire()
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +434,7 @@ class CdrRecvPort(RecvPort):
                 self._exposed.append((message, slot))
                 self._next_slot = (slot + 1) % self.slots
                 self.drained_signal.fire()
+                ni.arrival_signal.fire()
                 continue
             # Nothing to do: wait for an arrival or a pop.
             if not ni._net_in and not self._buffer:
@@ -432,6 +460,11 @@ class CqSendPort(SendPort):
     out of the processor cache and injects them.
     """
 
+    #: A blocked retry re-reads the tail pointer and the head-pointer shadow
+    #: — cache hits while the device has not advanced the head — so the
+    #: retry spin is elidable (virtual polling on the send side).
+    elidable = True
+
     def __init__(self, ni, queue, device_cache, ptr_cache, ready_reg: int):
         super().__init__(ni)
         self.queue = queue
@@ -439,6 +472,25 @@ class CqSendPort(SendPort):
         self.ptr_cache = ptr_cache
         self.ready_reg = ready_reg
         self.ready_signal = Signal(ni.sim, name=f"{ni.name}.send-ready")
+        #: True while the injection process is mid-message (pulling blocks /
+        #: about to dequeue).  A retry a cycle or two into an iteration can
+        #: already observe the dequeue, so a blocked sender must spin for
+        #: real — not sleep — while a pull is in flight.
+        self._pulling = False
+
+    def spin_steady(self) -> bool:
+        """A retry stays a pure failure while the queue is actually full,
+        the device is not mid-pull, and the pointer blocks the retry reads
+        are still cached (a device head advance invalidates the head-pointer
+        block and wakes the waiter)."""
+        sq = self.queue
+        if self._pulling or sq.occupancy < sq.capacity:
+            return False
+        cache = self.ni._proc_cache
+        return (
+            cache.probe_state(sq.head_ptr_addr) is not CoherenceState.INVALID
+            and cache.probe_state(sq.tail_ptr_addr) is not CoherenceState.INVALID
+        )
 
     def uncached_write(self, address: int) -> None:
         if address == self.ready_reg:
@@ -487,6 +539,11 @@ class CqSendPort(SendPort):
             # Pull the message blocks out of the processor cache.  Injection
             # is cut-through: once the first block has been read the message
             # starts down the wire and the remaining blocks stream behind it.
+            # The pull's first bus read snoops the processor cache, so a
+            # sleeping blocked sender is woken before the dequeue below can
+            # become observable; _pulling keeps it spinning for real until
+            # the whole hand-off (including the pointer write) is done.
+            self._pulling = True
             blocks = sq.entry_block_addrs(slot, ni.blocks_for(message))
             yield from self.cache.read_block(blocks[0])
             yield DEVICE_PROCESSING_CYCLES
@@ -494,9 +551,17 @@ class CqSendPort(SendPort):
             for addr in blocks[1:]:
                 yield from self.cache.read_block(addr)
             sq.dequeue()
+            # The freed slot is observable immediately: a retry whose
+            # head-pointer block is still cached refreshes its shadow from
+            # the functional queue state before the pointer write below
+            # lands on the bus.  Wake blocked senders now, not at snoop
+            # time, so an elided wait resumes at the same iteration the
+            # spinning sender would have.
+            ni.arrival_signal.fire()
             # Advance the device-written head pointer so the processor's
             # lazy shadow can eventually observe the free space.
             yield from self.ptr_cache.write_block(sq.head_ptr_addr)
+            self._pulling = False
 
 
 class CqRecvPort(RecvPort):
@@ -511,12 +576,28 @@ class CqRecvPort(RecvPort):
     decision made by the owning device, invisible to this port.
     """
 
+    #: An empty poll examines the valid word of the head entry — a cache
+    #: hit while the queue is empty (the paper's virtual polling) — so the
+    #: poll spin is elidable into a blocking wait.
+    elidable = True
+
     def __init__(self, ni, queue, device_cache, ptr_cache):
         super().__init__(ni)
         self.queue = queue
         self.cache = device_cache
         self.ptr_cache = ptr_cache
         self.head_advanced = Signal(ni.sim, name=f"{ni.name}.head-advanced")
+
+    def spin_steady(self) -> bool:
+        """A poll stays a pure empty hit while no message is visible at the
+        head entry and the processor still caches its valid-word block (the
+        device's message write invalidates that block and wakes the
+        waiter)."""
+        rq = self.queue
+        if rq.peek() is not None:
+            return False
+        state = self.ni._proc_cache.probe_state(rq.valid_word_addr(rq.head_index()))
+        return state is not CoherenceState.INVALID
 
     def proc_poll(self):
         ni = self.ni
@@ -576,3 +657,4 @@ class CqRecvPort(RecvPort):
             rq.enqueue(message)
             ni.stats.add("messages_accepted")
             ni._ack(message)
+            ni.arrival_signal.fire()

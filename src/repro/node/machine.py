@@ -208,6 +208,23 @@ class Machine:
     def network_stats(self) -> Dict[str, int]:
         return self.fabric.stats.as_dict()
 
+    def spin_elision_stats(self) -> Dict[str, int]:
+        """Machine-wide spin-wait elision totals (kernel + per-device).
+
+        ``elided_events`` / ``elided_cycles`` are the kernel events and
+        simulated cycles that busy-poll spins would have executed but did
+        not (see :mod:`repro.sim.spinwait`); ``elided_spins`` counts the
+        reconstructed poll-loop iterations across all devices.  All three
+        are zero when ``params.spin_elision`` is off or no device qualifies.
+        """
+        return {
+            "elided_events": self.sim.elided_events,
+            "elided_cycles": self.sim.elided_cycles,
+            "elided_spins": sum(
+                node.ni.stats.get("elided_spins") for node in self.nodes
+            ),
+        }
+
     def describe(self) -> str:
         ni_names = {node.config.ni_name for node in self.nodes}
         buses = {node.config.ni_bus.value for node in self.nodes}

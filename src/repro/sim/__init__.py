@@ -11,11 +11,23 @@ from repro.sim.process import (
     Wait,
     start_process,
 )
+from repro.sim.spinwait import (
+    SPIN_EMPTY,
+    SPIN_PROGRESS,
+    SPIN_TRANSIENT,
+    SpinGuard,
+    spin_wait,
+)
 from repro.sim.stats import Counter, Samples, StatsRegistry, safe_ratio
 
 __all__ = [
     "Simulator",
     "SimulationError",
+    "SpinGuard",
+    "spin_wait",
+    "SPIN_EMPTY",
+    "SPIN_PROGRESS",
+    "SPIN_TRANSIENT",
     "Process",
     "start_process",
     "Delay",

@@ -104,6 +104,12 @@ class Simulator:
         self.lane_executed = 0
         self.heap_executed = 0
         self.pool_reuses = 0
+        # Spin-wait elision statistics (accumulated by repro.sim.spinwait):
+        # kernel events and simulated cycles that provably idempotent
+        # busy-poll iterations would have executed but did not, because the
+        # waiting process slept on an arrival signal instead.
+        self.elided_events = 0
+        self.elided_cycles = 0
 
     @property
     def now(self) -> int:
@@ -349,13 +355,16 @@ class Simulator:
 
         Returns a dict with the simulated ``end_time``, the number of
         ``events`` executed, wall-clock ``wall_s``, the resulting
-        ``events_per_sec``, and scheduling-structure statistics for the
-        interval (``lane_events``, ``heap_events``, ``pool_reuses``).
+        ``events_per_sec``, scheduling-structure statistics for the
+        interval (``lane_events``, ``heap_events``, ``pool_reuses``) and the
+        spin-wait elision totals (``elided_events``, ``elided_cycles``).
         """
         events_before = self.event_count
         lane_before = self.lane_executed
         heap_before = self.heap_executed
         pool_before = self.pool_reuses
+        elided_ev_before = self.elided_events
+        elided_cy_before = self.elided_cycles
         start = _time.perf_counter()
         end_time = self.run(until=until, max_events=max_events)
         wall_s = _time.perf_counter() - start
@@ -368,4 +377,6 @@ class Simulator:
             "lane_events": float(self.lane_executed - lane_before),
             "heap_events": float(self.heap_executed - heap_before),
             "pool_reuses": float(self.pool_reuses - pool_before),
+            "elided_events": float(self.elided_events - elided_ev_before),
+            "elided_cycles": float(self.elided_cycles - elided_cy_before),
         }

@@ -1,0 +1,256 @@
+"""Cycle-exact elision of busy-poll spin loops.
+
+Every blocking wait in the messaging layer and the workload skeletons has
+the same shape: poll, and if nothing was there, back off a fixed number of
+cycles and poll again.  On the coherent-queue network interfaces the empty
+poll is a *cached* read — the paper's virtual-polling argument (Sections
+3–5): while the queue is empty the poll hits in the processor cache and
+generates **no bus traffic**.  Such an iteration is provably idempotent:
+it advances local counters, costs a deterministic number of cycles, and
+interacts with nothing else in the machine.  Simulating it event by event
+is pure kernel overhead.
+
+:func:`spin_wait` runs the poll loop but *elides* the idempotent steady
+state.  It executes each iteration for real while the machine is moving;
+once an iteration completes as a **pure cached empty poll** (no bus
+transaction, and the port's spin state unchanged) it measures the
+iteration period ``P`` and the per-iteration counter deltas once, then
+sleeps on the port's arrival signal instead of re-polling.  When the
+signal fires at ``t_f`` — a snooped bus transaction touched the
+processor's cache, or the device changed the queue state — the waiter
+resumes at the exact spin-iteration boundary the spinning process would
+have woken at:
+
+    ``resume = t0 + n * P``  with the smallest ``n`` such that
+    ``resume > t_f``
+
+(the iteration whose poll coincides with ``t_f`` still observes the *old*
+cache state, because its wake-up event was scheduled a whole backoff
+earlier than the snoop, so it is elided too).  The ``n`` skipped
+iterations are reconstructed arithmetically: their counter deltas are
+applied ``n``-fold and the kernel's ``elided_events`` / ``elided_cycles``
+tallies advance by what the spinning process would have executed.  The
+final resume is scheduled in two hops so that the last scheduling action
+happens in the same cycle (``resume - backoff``) the spinning loop would
+have scheduled it from, keeping same-cycle event ordering — and therefore
+bus-arbitration FIFO order — identical to the spinning simulation.
+
+Uncached polls (NI2w-style devices, and the CDR devices' uncached status
+registers) occupy the bus on every poll; they are never pure, and the loop
+simply keeps spinning for them — behaviour, cycle counts and bus
+occupancies are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+#: Body return values understood by :func:`spin_wait`.  ``SPIN_PROGRESS``
+#: and ``SPIN_EMPTY`` intentionally equal ``True`` and ``False`` so plain
+#: poll bodies can return their boolean directly.
+SPIN_PROGRESS = 1  #: the body consumed something; retry without backoff
+SPIN_EMPTY = 0     #: nothing there; back off (candidate for elision)
+SPIN_TRANSIENT = 2  #: nothing there, but the body is not yet in its steady
+#: regime (e.g. the first send retries before the drain kicks in); back off
+#: without arming the elider.
+
+
+class SpinGuard:
+    """What a wait site needs to make its spin loop elidable.
+
+    Parameters
+    ----------
+    sim:
+        The simulator (elision totals are accumulated on it).
+    signal:
+        Fired whenever the sleeping processor's observable state may have
+        changed: the node's arrival signal, wired to the processor cache's
+        snoop listener and the device-side queue transitions.
+    steady:
+        Zero-argument predicate: True while re-running the measured
+        iteration would provably produce the same pure empty poll (polled
+        cache lines still valid, queue state unchanged).
+    counters:
+        Raw counter dicts mutated by a pure iteration (processor cache,
+        device, messaging layer, processor); their per-iteration deltas are
+        measured once and replayed arithmetically for elided iterations.
+    txn_counts:
+        The node interconnect's raw counter dict; a changed ``txn_total``
+        across an iteration means the poll touched a bus and is not pure.
+    device_stats:
+        The NI's raw counter dict, where ``elided_spins`` /
+        ``elided_events`` / ``elided_cycles`` are recorded.
+    probes:
+        Zero-argument callables returning monotonic counts of *asynchronous*
+        node activity that leaves no bus transaction behind (fabric
+        deliveries, window acks, device-side signal fires).  If any probe
+        moves across a measured iteration, the counter deltas are polluted
+        by someone else's increments and the iteration is not armed.
+    resume_margin:
+        How far (in cycles) *into* an iteration the spinning loop observes
+        the watched state.  ``0`` — the poll-loop case — means a spinning
+        iteration whose boundary coincides with the fire still sees the old
+        state (its wake-up was scheduled a whole backoff before the snoop)
+        and is elided.  ``1`` — the blocked-send case, whose head-pointer
+        check executes one cycle into the iteration — means that iteration
+        would already observe the change, so the wait resumes *at* the fire
+        boundary instead of one period past it.  A wait site whose
+        observation point sits deeper than one cycle into the iteration
+        cannot be elided exactly and must not get a guard at all.
+    """
+
+    __slots__ = (
+        "sim", "signal", "steady", "counters", "txn_counts", "device_stats",
+        "probes", "resume_margin",
+    )
+
+    def __init__(
+        self,
+        sim,
+        signal,
+        steady: Callable[[], bool],
+        counters: Sequence[Dict[str, int]],
+        txn_counts: Dict[str, int],
+        device_stats: Dict[str, int],
+        probes: Sequence[Callable[[], int]] = (),
+        resume_margin: int = 0,
+    ):
+        self.sim = sim
+        self.signal = signal
+        self.steady = steady
+        self.counters = tuple(counters)
+        self.txn_counts = txn_counts
+        self.device_stats = device_stats
+        self.probes = tuple(probes)
+        self.resume_margin = resume_margin
+
+    def probe_state(self) -> tuple:
+        return tuple(probe() for probe in self.probes)
+
+    def note_elided(self, iterations: int, events_per_iter: int, period: int) -> None:
+        """Record ``iterations`` spin iterations skipped by sleeping."""
+        sim = self.sim
+        events = iterations * events_per_iter
+        cycles = iterations * period
+        # The legacy A/B kernel does not initialise these counters; create
+        # them on first use so the hot-swap benchmark keeps working.
+        sim.elided_events = getattr(sim, "elided_events", 0) + events
+        sim.elided_cycles = getattr(sim, "elided_cycles", 0) + cycles
+        stats = self.device_stats
+        stats["elided_spins"] += iterations
+        stats["elided_events"] += events
+        stats["elided_cycles"] += cycles
+
+
+def spin_wait(sim, predicate, body, backoff: int, guard: SpinGuard = None):
+    """Generator: ``while not predicate(): if not body(): wait(backoff)``.
+
+    ``body`` is a factory returning a fresh generator per iteration whose
+    return value is one of the ``SPIN_*`` constants (a plain bool works for
+    poll bodies).  Without a ``guard`` this is exactly the classic spinning
+    loop; with one, steady pure-empty iterations are elided as described in
+    the module docstring.  Either way the simulated timeline is
+    bit-identical.
+    """
+    if guard is None:
+        while not predicate():
+            result = yield from body()
+            if result != SPIN_PROGRESS:
+                yield backoff
+        return
+
+    signal = guard.signal
+    steady = guard.steady
+    txn_counts = guard.txn_counts
+    counters = guard.counters
+    while not predicate():
+        start = sim.now
+        txn_before = txn_counts.get("txn_total", 0)
+        probes_before = guard.probe_state()
+        before = [dict(counter) for counter in counters]
+        # Run one iteration for real, counting the kernel events it takes
+        # (the generator is stepped manually so each resume is observable).
+        gen = body()
+        events = 0
+        value = None
+        while True:
+            try:
+                command = gen.send(value)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            events += 1
+            value = yield command
+        if result == SPIN_PROGRESS:
+            continue
+        if (
+            result == SPIN_TRANSIENT
+            or txn_counts.get("txn_total", 0) != txn_before
+            or guard.probe_state() != probes_before
+            or not steady()
+        ):
+            # The poll touched a bus (uncached or missed — not idempotent),
+            # the body is still settling, asynchronous activity (a fabric
+            # delivery, an ack, a device-side transition) overlapped the
+            # measurement, or the machine state moved under the poll: keep
+            # spinning for real.
+            yield backoff
+            continue
+
+        # --- Armed: the iteration just completed was a pure cached empty
+        # poll.  Repeating it with unchanged state reproduces it exactly, so
+        # measure it once and sleep instead of spinning.
+        deltas = []
+        for snapshot, counter in zip(before, counters):
+            deltas.append(
+                {
+                    key: value_ - snapshot.get(key, 0)
+                    for key, value_ in counter.items()
+                    if value_ != snapshot.get(key, 0)
+                }
+            )
+        arm_time = sim.now
+        period = (arm_time - start) + backoff
+        events_per_iter = events + 1  # the body's resumes plus the backoff wake
+        first_boundary = arm_time + backoff
+
+        # Sleep until the machine state actually moves.  The steady() check
+        # and the signal wait run inside one kernel event, so no state
+        # change can slip between them; spurious fires (snooped traffic on
+        # unrelated lines) just re-enter the sleep.
+        while True:
+            yield signal
+            if not steady():
+                break
+        fire_time = sim.now
+
+        # The spinning process would observe the change at the first
+        # iteration boundary strictly after (fire - resume_margin): with
+        # margin 0 a poll *at* the fire cycle was scheduled a whole backoff
+        # earlier than the snoop that fired, so it still sees the old cache
+        # state and spins on; with margin 1 the observation sits one cycle
+        # into the iteration, so the boundary coinciding with the fire must
+        # be executed for real.
+        effective_fire = fire_time - guard.resume_margin
+        if effective_fire < first_boundary:
+            elided = 0
+            resume_at = first_boundary
+        else:
+            elided = (effective_fire - first_boundary) // period + 1
+            resume_at = first_boundary + elided * period
+        if elided:
+            for counter, delta in zip(counters, deltas):
+                for key, increment in delta.items():
+                    counter[key] += increment * elided
+            guard.note_elided(elided, events_per_iter, period)
+
+        # Resume in two hops so the final leg is scheduled from the same
+        # cycle (resume_at - backoff) the spinning loop would have used,
+        # preserving same-cycle event ordering after the wake-up.
+        schedule_cycle = resume_at - backoff
+        if fire_time <= schedule_cycle:
+            if fire_time < schedule_cycle:
+                yield schedule_cycle - fire_time
+            yield backoff
+        else:
+            yield resume_at - fire_time

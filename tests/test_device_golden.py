@@ -6,6 +6,14 @@ cycle counts, bus occupancies and device-counter values of representative
 Figure 6 (latency) and Figure 8 (macro) runs.  The composable device kit
 must assemble devices that reproduce these stats exactly — any drift means
 the refactor changed simulated behaviour, not just code structure.
+
+Audited after the software-buffer readback fix (MessagingLayer.poll now
+re-reads a drained message from the address it was copied to, not the
+buffer base): a regeneration via tests/_capture_golden.py reproduced every
+pinned value bit-for-bit, because none of the golden scenarios blocks long
+enough to fall back to user-space buffering.  The fix itself is pinned by
+tests/test_spin_elision.py.  Spin-wait elision (on by default) is likewise
+invisible here by design: golden runs must not depend on the toggle.
 """
 
 import pytest
