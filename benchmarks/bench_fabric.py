@@ -1,0 +1,194 @@
+"""Fabric microbenchmark: simulator throughput across interconnect models.
+
+Runs the same macro workload mix on every built-in fabric (ideal, xbar,
+mesh, torus) *in the same process* and reports, per fabric:
+
+* simulated completion cycles and network statistics (hops, contention),
+* kernel events executed and events/sec (wall-clock),
+* the throughput overhead relative to the ideal fabric — the price of
+  modelling topology and contention at all.
+
+The ideal-fabric run is additionally checked against **pinned golden
+cycle counts** captured at the introduction of the fabric subsystem (when
+the pre-refactor fixed-latency physics was still pinned by the seed
+golden suite): the default fabric *is* ideal, so comparing against a
+freshly-built default machine would be tautological — only a pinned
+constant can catch IdealFabric's timing drifting.
+
+As a CLI this doubles as a CI perf-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py --quick --check --json BENCH_fabric.json
+
+``--check`` exits non-zero if the ideal fabric's cycles drifted from the
+pinned golden, if any fabric failed to complete, or if a topology-aware
+fabric's events/sec fell below ``1/--max-overhead`` (default 3x) of the
+ideal fabric's — all runs happen on this machine, so the gate is
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+from repro.apps import create_workload
+from repro.common.params import DEFAULT_PARAMS
+from repro.network import available_fabrics
+from repro.node.machine import Machine
+
+#: Fabrics measured, in report order; "default" is the no-override control.
+FABRICS = ("ideal", "xbar", "mesh", "torus")
+
+#: Full configuration: the paper's 16-node machine at skeleton scale 1.0.
+FULL = {"num_nodes": 16, "scale": 1.0, "workloads": ("gauss", "em3d", "appbt")}
+#: Reduced configuration for CI smoke runs.
+QUICK = {"num_nodes": 8, "scale": 0.25, "workloads": ("gauss",)}
+
+DEVICE = "CNI16Qm"
+
+#: Pinned total completion cycles of the ideal-fabric mix per
+#: configuration, captured while the seed golden suite still pinned the
+#: pre-refactor fixed-latency physics (which the refactored IdealFabric
+#: reproduces bit-identically).  Any IdealFabric timing drift changes
+#: these totals and fails ``--check``.
+GOLDEN_IDEAL_CYCLES = {
+    (8, 0.25, ("gauss",)): 124_822,
+    (16, 1.0, ("gauss", "em3d", "appbt")): 848_636,
+}
+
+
+def run_fabric(fabric: str, num_nodes: int, scale: float, workloads) -> dict:
+    """Run the workload mix on one fabric; returns physics + throughput."""
+    params = DEFAULT_PARAMS.with_overrides(fabric=fabric)
+    cycles = 0
+    events = 0
+    wall = 0.0
+    network = {}
+    for workload_name in workloads:
+        machine = Machine.build(DEVICE, "memory", num_nodes=num_nodes, params=params)
+        workload = create_workload(workload_name, scale=scale, seed=12345)
+        start = perf_counter()
+        cycles += machine.run_programs(workload.programs(machine), max_cycles=2_000_000_000)
+        wall += perf_counter() - start
+        events += machine.sim.event_count
+        for key, value in machine.network_stats().items():
+            network[key] = network.get(key, 0) + value
+    return {
+        "fabric": fabric,
+        "cycles": cycles,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "network": network,
+    }
+
+
+def run_all(num_nodes: int, scale: float, workloads) -> dict:
+    """Measure every fabric and compare ideal against its pinned golden."""
+    rows = [run_fabric(fabric, num_nodes, scale, workloads) for fabric in FABRICS]
+    ideal = next(row for row in rows if row["fabric"] == "ideal")
+    golden = GOLDEN_IDEAL_CYCLES.get((num_nodes, scale, tuple(workloads)))
+    for row in rows:
+        row["relative_events_per_sec"] = (
+            row["events_per_sec"] / ideal["events_per_sec"]
+            if ideal["events_per_sec"]
+            else 0.0
+        )
+    return {
+        "num_nodes": num_nodes,
+        "scale": scale,
+        "workloads": list(workloads),
+        "device": DEVICE,
+        "rows": rows,
+        "golden_ideal_cycles": golden,
+        # None (no golden pinned for this configuration) is not a failure;
+        # --check only gates the pinned configurations.
+        "ideal_matches_golden": golden is None or ideal["cycles"] == golden,
+        "registered_fabrics": [info.kind for info in available_fabrics()],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry
+# ----------------------------------------------------------------------
+def test_fabric_throughput(benchmark):
+    from _util import single_run
+
+    report = single_run(
+        benchmark, run_all, QUICK["num_nodes"], QUICK["scale"], QUICK["workloads"]
+    )
+    print()
+    for row in report["rows"]:
+        print(
+            f"{row['fabric']:6s}: {row['cycles']:>10,} cycles, "
+            f"{row['events_per_sec']:,.0f} events/sec "
+            f"({row['relative_events_per_sec']:.2f}x ideal)"
+        )
+    assert report["ideal_matches_golden"]
+    for row in report["rows"]:
+        assert row["events"] > 0
+
+
+# ----------------------------------------------------------------------
+# CLI (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"reduced mix ({QUICK['num_nodes']} nodes, scale {QUICK['scale']})")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on physics drift or excessive fabric overhead")
+    parser.add_argument("--max-overhead", type=float, default=3.0,
+                        help="fail --check if a fabric's events/sec < ideal / this factor")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    config = QUICK if args.quick else FULL
+    report = run_all(config["num_nodes"], config["scale"], config["workloads"])
+
+    print(f"{'fabric':8s} {'cycles':>12s} {'events':>11s} {'events/sec':>12s} "
+          f"{'vs ideal':>9s} {'hops':>9s} {'contention':>11s}")
+    for row in report["rows"]:
+        print(
+            f"{row['fabric']:8s} {row['cycles']:>12,} {row['events']:>11,} "
+            f"{row['events_per_sec']:>12,.0f} {row['relative_events_per_sec']:>8.2f}x "
+            f"{row['network'].get('hops', 0):>9,} "
+            f"{row['network'].get('contention_cycles', 0):>11,}"
+        )
+    golden = report["golden_ideal_cycles"]
+    if golden is None:
+        print("\nideal fabric golden: none pinned for this configuration")
+    else:
+        marker = "match" if report["ideal_matches_golden"] else "DRIFTED"
+        print(f"\nideal fabric vs pinned golden ({golden:,} cycles): {marker}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+
+    if args.check:
+        if not report["ideal_matches_golden"]:
+            print(
+                f"FAIL: IdealFabric cycles drifted from the pinned golden "
+                f"({report['golden_ideal_cycles']:,})",
+                file=sys.stderr,
+            )
+            return 1
+        ideal_rate = next(r for r in report["rows"] if r["fabric"] == "ideal")["events_per_sec"]
+        floor = ideal_rate / args.max_overhead
+        slow = [r["fabric"] for r in report["rows"] if r["events_per_sec"] < floor]
+        if slow:
+            print(
+                f"FAIL: fabrics below 1/{args.max_overhead:g} of ideal events/sec: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: all fabrics >= {floor:,.0f} events/sec floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ The package is organised as:
 * :mod:`repro.sim` — discrete-event simulation kernel,
 * :mod:`repro.common` — machine parameters (Table 2), address map, enums,
 * :mod:`repro.coherence` — MOESI snooping caches, buses, main memory,
-* :mod:`repro.network` — fixed-latency fabric and sliding-window flow control,
+* :mod:`repro.network` — pluggable interconnect fabrics (the paper's ideal
+  fixed-latency model plus crossbar/mesh/torus with contention) and
+  sliding-window flow control,
 * :mod:`repro.ni` — the composable network-interface kit: port primitives
   (:mod:`repro.ni.primitives`), a generative device registry
   (:mod:`repro.ni.registry`) that builds *any* legal taxonomy point, and
@@ -33,6 +35,13 @@ from repro.api import (
 )
 from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
+from repro.network import (
+    FabricSpec,
+    available_fabrics,
+    parse_fabric_name,
+    register_fabric,
+    unregister_fabric,
+)
 from repro.node.machine import Machine
 from repro.node.node import NodeConfig
 from repro.ni.registry import DeviceSpec
@@ -58,6 +67,11 @@ __all__ = [
     "register_device",
     "unregister_device",
     "DeviceSpec",
+    "FabricSpec",
+    "parse_fabric_name",
+    "available_fabrics",
+    "register_fabric",
+    "unregister_fabric",
     "ExperimentSpec",
     "SweepSpec",
     "SweepRunner",

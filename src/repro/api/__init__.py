@@ -25,13 +25,19 @@ Typical use::
 from repro.api.cache import ResultCache
 from repro.api.presets import (
     DEVICE_FAMILIES,
+    FAMILY_CONFIGS,
+    MACRO_TRIO,
+    SCALABILITY_FABRICS,
+    SCALABILITY_NODE_COUNTS,
     bandwidth_sweep,
     device_space_sweep,
     engine_sweep,
     latency_sweep,
     macro_sweep,
+    network_sensitivity_sweep,
     occupancy_reductions,
     paper_tables,
+    scalability_sweep,
     speedups,
 )
 from repro.api.results import ResultSet, RunResult
@@ -52,7 +58,13 @@ __all__ = [
     "macro_sweep",
     "engine_sweep",
     "device_space_sweep",
+    "scalability_sweep",
+    "network_sensitivity_sweep",
     "DEVICE_FAMILIES",
+    "FAMILY_CONFIGS",
+    "MACRO_TRIO",
+    "SCALABILITY_FABRICS",
+    "SCALABILITY_NODE_COUNTS",
     "speedups",
     "occupancy_reductions",
     "paper_tables",

@@ -3,11 +3,14 @@
 Each cached point is one small JSON file ``<kind>-<key>.json`` under the
 cache directory, so repeated figure regeneration skips the simulation
 entirely.  The key mixes the spec's own hash with the device-registry
-schema version (:data:`repro.ni.registry.DEVICE_SCHEMA_VERSION`): a spec
-only *names* its device, so when the rules that assemble a device from a
-taxonomy name change, every cached sweep result silently computed under
-the old rules must stop matching.  Corrupt or stale-schema entries are
-treated as misses and rewritten; the cache is safe to delete at any time.
+schema version (:data:`repro.ni.registry.DEVICE_SCHEMA_VERSION`) and the
+fabric-registry schema version
+(:data:`repro.network.registry.FABRIC_SCHEMA_VERSION`): a spec only
+*names* its device and fabric, so when the rules that assemble a device —
+or time a fabric — change, every cached sweep result silently computed
+under the old rules must stop matching.  Corrupt or stale-schema entries
+are treated as misses and rewritten; the cache is safe to delete at any
+time.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import Dict, Optional
 
 from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec
+from repro.network.registry import FABRIC_SCHEMA_VERSION
 from repro.ni.registry import DEVICE_SCHEMA_VERSION
 
 #: Default cache location (relative to the working directory).
@@ -43,8 +47,11 @@ class ResultCache:
         self.misses = 0
 
     def cache_key(self, spec: ExperimentSpec) -> str:
-        """Spec hash widened with the device-registry schema version."""
-        payload = f"{spec.spec_hash()}:device-schema-{DEVICE_SCHEMA_VERSION}"
+        """Spec hash widened with the device and fabric schema versions."""
+        payload = (
+            f"{spec.spec_hash()}:device-schema-{DEVICE_SCHEMA_VERSION}"
+            f":fabric-schema-{FABRIC_SCHEMA_VERSION}"
+        )
         return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
     def path_for(self, spec: ExperimentSpec) -> str:
@@ -73,6 +80,10 @@ class ResultCache:
             # entries whose filename was produced by other means).
             self.misses += 1
             return None
+        if payload.get("fabric_schema_version") != FABRIC_SCHEMA_VERSION:
+            # Fabric timing semantics changed since this entry was written.
+            self.misses += 1
+            return None
         if result.spec.spec_hash() != spec.spec_hash():
             # Hash collision in the filename or a hand-edited entry.
             self.misses += 1
@@ -88,6 +99,7 @@ class ResultCache:
         payload = result.to_dict()
         payload["repro_version"] = _repro_version()
         payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
+        payload["fabric_schema_version"] = FABRIC_SCHEMA_VERSION
         # Write-rename so a crashed run never leaves a torn JSON file.
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

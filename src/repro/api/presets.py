@@ -199,6 +199,135 @@ def device_space_sweep(
     return SweepSpec.explicit(points, name=name)
 
 
+#: Fabrics the scalability preset compares by default: the paper's ideal
+#: model against a contended 2D mesh (auto-shaped per node count).
+SCALABILITY_FABRICS: Tuple[str, ...] = ("ideal", "mesh")
+
+#: Node counts of the scalability sweep: the paper's 16-node machine
+#: bracketed from 4 to 64 nodes.
+SCALABILITY_NODE_COUNTS: Tuple[int, ...] = (4, 8, 16, 32, 64)
+
+#: The Figure-8 communication-bound macro trio (Table 3): one-to-all
+#: broadcasts (gauss), bursty fine-grain updates (em3d) and hot-spot
+#: request/reply traffic (appbt).
+MACRO_TRIO: Tuple[str, ...] = ("gauss", "em3d", "appbt")
+
+#: Device/bus points the network-axis presets compare by default: one
+#: representative per taxonomy family — uncached words (NI2w), cachable
+#: device registers (CNI4) and the best cachable queue (CNI16Qm).
+FAMILY_CONFIGS: Tuple[Tuple[str, str], ...] = (
+    ("NI2w", "memory"),
+    ("CNI4", "memory"),
+    ("CNI16Qm", "memory"),
+)
+
+
+def scalability_sweep(
+    workloads: Sequence[str] = MACRO_TRIO,
+    configs: Sequence[Tuple[str, str]] = (("CNI16Qm", "memory"),),
+    node_counts: Sequence[int] = SCALABILITY_NODE_COUNTS,
+    fabrics: Sequence[str] = SCALABILITY_FABRICS,
+    scale: float = 1.0,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    include_baseline: bool = True,
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "scalability",
+) -> SweepSpec:
+    """Node-count scalability: the fig8 macro trio regenerated per scale.
+
+    The paper's evaluation is pinned at 16 nodes on an idealized network;
+    this preset asks the question its taxonomy begs — how do the device
+    conclusions hold up as the machine grows?  Every ``fabric`` ×
+    ``node count`` cell re-runs the macro workloads for each configuration
+    (plus the NI2w/memory baseline when ``include_baseline`` is set, so
+    per-cell speedups are computable via :func:`speedups` on the filtered
+    subset).  Grid fabric names without explicit dims (``"mesh"``)
+    auto-shape to each node count, which is what lets one sweep span
+    4 → 64 nodes.  ``params`` adds machine-parameter overrides shared by
+    all points (the fabric name is layered on top).
+    """
+    per_workload = dict(workload_kwargs or {})
+    base_params = dict(params or {})
+    all_configs = list(configs)
+    if include_baseline and BASELINE_CONFIG not in all_configs:
+        all_configs = [BASELINE_CONFIG] + all_configs
+    points: List[ExperimentSpec] = []
+    for fabric in fabrics:
+        for num_nodes in node_counts:
+            for workload in workloads:
+                kwargs = dict(per_workload.get(workload, {}))
+                for device, bus in all_configs:
+                    points.append(
+                        ExperimentSpec(
+                            kind="macro",
+                            device=device,
+                            bus=bus,
+                            num_nodes=num_nodes,
+                            workload=workload,
+                            scale=scale,
+                            workload_kwargs=kwargs,
+                            params={**base_params, "fabric": fabric},
+                        )
+                    )
+    return SweepSpec.explicit(points, name=name)
+
+
+#: Reference point for :func:`network_sensitivity_sweep`'s latency axis:
+#: the paper's 100-cycle network with the default 8-cycle grid hop.
+_REFERENCE_LATENCY = 100
+_REFERENCE_HOP = 8
+
+
+def network_sensitivity_sweep(
+    workloads: Sequence[str] = ("gauss",),
+    configs: Sequence[Tuple[str, str]] = FAMILY_CONFIGS,
+    latencies: Sequence[int] = (25, 100, 400),
+    fabrics: Sequence[str] = ("ideal", "xbar", "mesh"),
+    num_nodes: int = 16,
+    scale: float = 0.5,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "network_sensitivity",
+) -> SweepSpec:
+    """Network sensitivity: latency × topology × device family.
+
+    Sweeps how much each device family's advantage depends on the network
+    the paper idealized.  The latency axis scales the whole network
+    together: each value sets ``network_latency_cycles`` (the ideal/xbar
+    wire latency) and scales ``fabric_hop_cycles`` proportionally from the
+    100-cycle/8-cycle reference, so "a 4x slower network" means 4x on
+    every fabric rather than only on the topology-free ones.
+    """
+    per_workload = dict(workload_kwargs or {})
+    base_params = dict(params or {})
+    points: List[ExperimentSpec] = []
+    for fabric in fabrics:
+        for latency in latencies:
+            hop = max(1, round(_REFERENCE_HOP * latency / _REFERENCE_LATENCY))
+            point_params = {
+                **base_params,
+                "fabric": fabric,
+                "network_latency_cycles": latency,
+                "fabric_hop_cycles": hop,
+            }
+            for workload in workloads:
+                kwargs = dict(per_workload.get(workload, {}))
+                for device, bus in configs:
+                    points.append(
+                        ExperimentSpec(
+                            kind="macro",
+                            device=device,
+                            bus=bus,
+                            num_nodes=num_nodes,
+                            workload=workload,
+                            scale=scale,
+                            workload_kwargs=kwargs,
+                            params=point_params,
+                        )
+                    )
+    return SweepSpec.explicit(points, name=name)
+
+
 def speedups(
     results: ResultSet,
     workload: str,

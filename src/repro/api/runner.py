@@ -51,9 +51,7 @@ def _machine_overrides(spec: ExperimentSpec) -> Dict[str, Any]:
     """Machine-shape kwargs shared by every engine entry point."""
     out: Dict[str, Any] = {"ni_kwargs": dict(spec.ni_kwargs)}
     if spec.params:
-        from repro.common.params import DEFAULT_PARAMS
-
-        out["params"] = DEFAULT_PARAMS.with_overrides(**spec.params)
+        out["params"] = spec.machine_params()
     if spec.max_cycles is not None:
         out["max_cycles"] = spec.max_cycles
     return out

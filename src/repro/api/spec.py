@@ -134,7 +134,44 @@ class ExperimentSpec:
         # illegal names and unsupported device kwargs fail here, not sixteen
         # constructors deep in Node.__init__.
         validate_ni_kwargs(self.device, self.ni_kwargs)
+        # Early machine-parameter validation, against *this* point's node
+        # count: unknown fields, illegal values and fabric names that do
+        # not fit the machine (e.g. "mesh4x4" with num_nodes=8) fail here,
+        # with their own error types, not inside a worker process.
+        if self.params:
+            try:
+                self.machine_params()
+            except TypeError:
+                from repro.common.params import DEFAULT_PARAMS
+
+                known = {f.name for f in fields(DEFAULT_PARAMS)}
+                unknown = sorted(set(self.params) - known)
+                if not unknown:
+                    # A known field with a value its validation rules
+                    # cannot even compare (e.g. a string hop count): let
+                    # the original TypeError name the real problem.
+                    raise
+                raise SpecError(
+                    f"unknown MachineParams override(s) {unknown}"
+                ) from None
         return self
+
+    def machine_params(self):
+        """The validated :class:`~repro.common.params.MachineParams` this
+        point runs with.
+
+        The spec's node count joins the overrides *before* validation so
+        shape-dependent parameters (an explicit grid fabric such as
+        ``"torus2x2"``) validate against the machine actually being built;
+        an explicit ``params["num_nodes"]`` override still wins.  This is
+        the one place the merge happens — the runner and
+        :meth:`~repro.node.machine.Machine.from_spec` both call it.
+        """
+        from repro.common.params import DEFAULT_PARAMS
+
+        return DEFAULT_PARAMS.with_overrides(
+            **{"num_nodes": self.num_nodes, **self.params}
+        )
 
     # ------------------------------------------------------------------
     # Canonical form, hashing, seeds

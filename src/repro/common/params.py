@@ -53,6 +53,19 @@ class MachineParams:
     network_latency_cycles: int = 100
     sliding_window: int = 4
 
+    # Interconnect fabric (grammar in :mod:`repro.network.fabricspec`).
+    # ``"ideal"`` is the paper's fixed-latency, topology-free model; other
+    # values select topology-aware models from the fabric registry —
+    # ``"xbar"`` (per-port serialization), ``"mesh"``/``"torus"`` (2D grid
+    # with dimension-order routing; bare names derive a near-square shape
+    # from ``num_nodes``, ``"mesh4x4"`` pins it).
+    fabric: str = "ideal"
+    #: Router + wire latency per grid hop (mesh/torus), processor cycles.
+    fabric_hop_cycles: int = 8
+    #: Link/port bandwidth used for serialization by the topology-aware
+    #: fabrics (a 256+12-byte message at 8 B/cycle streams for 34 cycles).
+    fabric_link_bytes_per_cycle: int = 8
+
     # Uncached accesses are performed 8 bytes (one double word) at a time.
     uncached_access_bytes: int = 8
 
@@ -180,6 +193,19 @@ class MachineParams:
             raise ParameterError("num_nodes must be >= 1")
         if self.sliding_window < 1:
             raise ParameterError("sliding_window must be >= 1")
+        if self.fabric_hop_cycles < 1:
+            raise ParameterError("fabric_hop_cycles must be >= 1")
+        if self.fabric_link_bytes_per_cycle < 1:
+            raise ParameterError("fabric_link_bytes_per_cycle must be >= 1")
+        if self.fabric != "ideal":
+            # Lazy import: the default short-circuits, so importing this
+            # module (which validates DEFAULT_PARAMS) never pulls in the
+            # fabric registry.  Non-default names are checked against the
+            # registered kinds and the machine's node count, raising
+            # FabricError with the offending grammar field named.
+            from repro.network.registry import parse_fabric
+
+            parse_fabric(self.fabric).validate_nodes(self.num_nodes)
         return self
 
     def with_overrides(self, **kwargs) -> "MachineParams":

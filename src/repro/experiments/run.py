@@ -7,7 +7,16 @@ Usage::
     python -m repro.experiments.run fig7 [--quick] [--jobs 4]
     python -m repro.experiments.run fig8 [--quick] [--scale 0.5] [--nodes 16]
     python -m repro.experiments.run occupancy [--quick]
+    python -m repro.experiments.run scalability [--quick] [--jobs 4]
+    python -m repro.experiments.run netsense [--quick] [--jobs 4]
     python -m repro.experiments.run all [--quick] [--json results.json]
+
+``all`` regenerates the paper artifacts (tables + figures).  The two
+beyond-the-paper sweeps are separate commands: ``scalability`` re-runs the
+fig8 macro trio from 4 to 64 nodes on the ideal and mesh fabrics, and
+``netsense`` sweeps latency x topology x device family (both powered by
+the :mod:`repro.api` presets; the nightly CI pipeline drives them with
+``--json`` to archive the structured results).
 
 Every experiment goes through :mod:`repro.api`: ``--jobs N`` fans the sweep
 out over N worker processes, ``--cache-dir`` (default ``.repro-cache``)
@@ -25,7 +34,13 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.api import SweepRunner, paper_tables
+from repro.api import (
+    SweepRunner,
+    network_sensitivity_sweep,
+    paper_tables,
+    scalability_sweep,
+    speedups,
+)
 from repro.api.cache import DEFAULT_CACHE_DIR
 from repro.experiments import figures, report
 
@@ -88,6 +103,53 @@ def run_occupancy(quick: bool, scale: float, nodes: int, runner: SweepRunner) ->
     _print(report.format_table(rows, "Memory-bus occupancy reduction vs NI2w (Section 5.2)"))
 
 
+def run_scalability(quick: bool, runner: SweepRunner) -> None:
+    """Node-count scalability: the fig8 macro trio per (fabric, scale)."""
+    if quick:
+        sweep = scalability_sweep(
+            workloads=("gauss", "em3d"), node_counts=(4, 8, 16), scale=0.25
+        )
+    else:
+        sweep = scalability_sweep()
+    results = runner.run(sweep)
+    rows = []
+    for fabric in sorted({r.spec.params.get("fabric", "ideal") for r in results}):
+        subset = results.filter(lambda r, f=fabric: r.spec.params.get("fabric") == f)
+        for num_nodes in sorted({r.spec.num_nodes for r in subset}):
+            cell = subset.filter(num_nodes=num_nodes)
+            for workload in sorted({r.spec.workload for r in cell}):
+                row = {"fabric": fabric, "nodes": num_nodes, "workload": workload}
+                gains = speedups(cell, workload)
+                for config, gain in sorted(gains.items()):
+                    row[config] = f"{gain:.2f}x"
+                rows.append(row)
+    _print(report.format_table(rows, "Scalability: speedup over NI2w/memory per (fabric, node count)"))
+
+
+def run_netsense(quick: bool, runner: SweepRunner) -> None:
+    """Network sensitivity: latency x topology x device family."""
+    if quick:
+        sweep = network_sensitivity_sweep(
+            latencies=(25, 100), fabrics=("ideal", "mesh"), num_nodes=8, scale=0.25
+        )
+    else:
+        sweep = network_sensitivity_sweep()
+    results = runner.run(sweep)
+    rows = []
+    for result in results:
+        params = result.spec.params
+        rows.append(
+            {
+                "fabric": params.get("fabric", "ideal"),
+                "latency": params.get("network_latency_cycles", 100),
+                "workload": result.spec.workload,
+                "config": result.spec.config,
+                "cycles": f"{result.metrics['cycles']:,.0f}",
+            }
+        )
+    _print(report.format_table(rows, "Network sensitivity: completion cycles by latency x topology x device"))
+
+
 def _progress(completed: int, total: int, result) -> None:
     sys.stderr.write(f"\r  [{completed}/{total}] {result.spec.describe():<60}")
     if completed == total:
@@ -99,7 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
         "experiment",
-        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "all"],
+        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "scalability", "netsense", "all"],
         help="which experiment to regenerate",
     )
     parser.add_argument("--quick", action="store_true", help="smaller, faster sweep")
@@ -136,6 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_fig8(args.quick, args.scale, args.nodes, runner)
     if args.experiment in ("occupancy", "all"):
         run_occupancy(args.quick, args.scale, args.nodes, runner)
+    if args.experiment == "scalability":
+        run_scalability(args.quick, runner)
+    if args.experiment == "netsense":
+        run_netsense(args.quick, runner)
     elapsed = time.time() - start
 
     if args.json:

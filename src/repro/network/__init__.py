@@ -1,5 +1,48 @@
-"""Network substrate: fixed-latency fabric and sliding-window flow control."""
+"""Network substrate: pluggable fabrics and sliding-window flow control.
 
-from repro.network.fabric import NetworkError, NetworkFabric, SlidingWindow
+The paper's fixed-latency model is :class:`IdealFabric` (the default,
+also reachable under its historical name :class:`NetworkFabric`);
+topology-aware crossbar/mesh/torus models plug in through the fabric
+registry, selected by ``MachineParams.fabric`` (grammar in
+:mod:`repro.network.fabricspec`).
+"""
 
-__all__ = ["NetworkFabric", "SlidingWindow", "NetworkError"]
+from repro.network.fabric import (
+    AbstractFabric,
+    IdealFabric,
+    NetworkError,
+    NetworkFabric,
+    SlidingWindow,
+)
+from repro.network.fabricspec import FabricError, FabricSpec, parse_fabric_name
+from repro.network.registry import (
+    FabricInfo,
+    available_fabrics,
+    create_fabric,
+    fabric_class,
+    parse_fabric,
+    register_fabric,
+    unregister_fabric,
+)
+from repro.network.topology import CrossbarFabric, MeshFabric, TorusFabric
+
+__all__ = [
+    "AbstractFabric",
+    "IdealFabric",
+    "NetworkFabric",
+    "CrossbarFabric",
+    "MeshFabric",
+    "TorusFabric",
+    "NetworkError",
+    "FabricError",
+    "FabricSpec",
+    "FabricInfo",
+    "SlidingWindow",
+    "parse_fabric_name",
+    "parse_fabric",
+    "fabric_class",
+    "register_fabric",
+    "unregister_fabric",
+    "available_fabrics",
+    "create_fabric",
+]

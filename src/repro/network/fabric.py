@@ -1,19 +1,29 @@
-"""Network fabric model.
+"""Network fabric models: the abstract interface and the paper's ideal fabric.
 
-Following the paper (Section 4.1), network topology is ignored: every
-message takes a fixed 100 processor cycles from injection at the source NI
-to arrival at the destination NI.  End-point flow control is a hardware
-sliding window of four outstanding network messages per destination;
-acknowledgements are returned by the receiving NI when it accepts a message
-into its receive queue and also take the fixed network latency.
+Following the paper (Section 4.1), the *default* fabric ignores topology:
+every message takes a fixed 100 processor cycles from injection at the
+source NI to arrival at the destination NI.  That model is
+:class:`IdealFabric` here; :class:`AbstractFabric` extracts the endpoint
+registration, delivery bookkeeping and statistics every fabric shares, so
+topology-aware models (:mod:`repro.network.topology`) plug in underneath
+the unchanged NI devices.  End-point flow control is unchanged across
+fabrics: a hardware sliding window of four outstanding network messages
+per destination (:class:`SlidingWindow`), with acknowledgements returned
+by the receiving NI when it accepts a message into its receive queue.
+
+Fabrics are selected declaratively through ``MachineParams.fabric`` (see
+:mod:`repro.network.fabricspec` for the topology grammar and
+:mod:`repro.network.registry` for the kind registry).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import abc
+from typing import Callable, Dict, Optional
 
 from repro.common.params import MachineParams
 from repro.common.types import NetworkMessage
+from repro.network.fabricspec import FabricSpec
 from repro.sim import Counter, Samples, Signal, Simulator
 
 
@@ -21,12 +31,30 @@ class NetworkError(RuntimeError):
     """Raised on fabric misuse (unknown endpoints, bad messages)."""
 
 
-class NetworkFabric:
-    """Fixed-latency, point-to-point ordered message fabric."""
+class AbstractFabric(abc.ABC):
+    """Point-to-point ordered message fabric: endpoints, delivery, stats.
 
-    def __init__(self, sim: Simulator, params: MachineParams):
+    Subclasses implement the *timing* — :meth:`delivery_delay` for one
+    network message and :meth:`ack_delay` for one hardware acknowledgement
+    — and may keep whatever contention state the model needs (both hooks
+    are called at injection time, in simulation-time order, so arithmetic
+    link/port reservation is causally sound).  Delays must be whole
+    processor cycles; the kernel rejects fractional event times.
+
+    Every fabric preserves point-to-point ordering: for a fixed
+    (source, destination) pair, delivery order equals injection order.
+    The built-in models guarantee this structurally (fixed latency, or
+    deterministic routes with FIFO per-link reservation).
+    """
+
+    #: Grammar kind implemented by this class (see fabricspec); set by
+    #: subclasses and used by the registry and reporting.
+    kind = "abstract"
+
+    def __init__(self, sim: Simulator, params: MachineParams, spec: Optional[FabricSpec] = None):
         self.sim = sim
         self.params = params
+        self.spec = spec
         self._endpoints: Dict[int, Callable[[NetworkMessage], None]] = {}
         self._ack_handlers: Dict[int, Callable[[int], None]] = {}
         self.stats = Counter()
@@ -61,10 +89,25 @@ class NetworkFabric:
         return tuple(sorted(self._endpoints))
 
     # ------------------------------------------------------------------
+    # Timing model (the subclass contract)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def delivery_delay(self, message: NetworkMessage) -> int:
+        """Cycles from injection now until ``message`` is fully delivered.
+
+        Called once per message at injection time; a stateful model
+        reserves its links/ports here.
+        """
+
+    @abc.abstractmethod
+    def ack_delay(self, from_node: int, to_node: int) -> int:
+        """Cycles for a hardware ack from ``from_node`` back to ``to_node``."""
+
+    # ------------------------------------------------------------------
     # Message transport
     # ------------------------------------------------------------------
     def inject(self, message: NetworkMessage) -> None:
-        """Inject a message; it arrives at the destination after the fixed latency."""
+        """Inject a message; it arrives at the destination after the model's delay."""
         if message.dest not in self._endpoints:
             raise NetworkError(f"message to unattached node {message.dest}")
         if message.source not in self._endpoints:
@@ -72,7 +115,7 @@ class NetworkFabric:
         message.inject_time = self.sim.now
         self.stats.add("messages_injected")
         self.stats.add("payload_bytes", message.payload_bytes)
-        self.sim.schedule_call(self.params.network_latency_cycles, self._deliver, (message,))
+        self.sim.schedule_call(self.delivery_delay(message), self._deliver, (message,))
 
     def _deliver(self, message: NetworkMessage) -> None:
         message.deliver_time = self.sim.now
@@ -87,12 +130,57 @@ class NetworkFabric:
             raise NetworkError(f"ack to unattached node {to_node}")
         self.stats.add("acks_sent")
         self.sim.schedule_call(
-            self.params.network_latency_cycles, self._deliver_ack, (from_node, to_node)
+            self.ack_delay(from_node, to_node), self._deliver_ack, (from_node, to_node)
         )
 
     def _deliver_ack(self, from_node: int, to_node: int) -> None:
         self.stats.add("acks_delivered")
         self._ack_handlers[to_node](from_node)
+
+    # ------------------------------------------------------------------
+    # Shared timing helpers
+    # ------------------------------------------------------------------
+    def wire_bytes(self, message: NetworkMessage) -> int:
+        """Bytes of ``message`` actually moved by the fabric (header + payload)."""
+        return self.params.network_header_bytes + message.payload_bytes
+
+    def serialization_cycles(self, wire_bytes: int) -> int:
+        """Cycles to stream ``wire_bytes`` through one link/port."""
+        bw = self.params.fabric_link_bytes_per_cycle
+        return max(1, -(-wire_bytes // bw))
+
+    def describe(self) -> str:
+        if self.spec is not None:
+            return self.spec.describe()
+        return f"{self.kind} fabric"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class IdealFabric(AbstractFabric):
+    """The paper's fabric: fixed latency, topology ignored (Section 4.1).
+
+    Every message — and every acknowledgement — takes exactly
+    ``params.network_latency_cycles`` regardless of source, destination or
+    load.  This is the default fabric and the one all paper goldens pin;
+    its event schedule is bit-identical to the pre-refactor
+    ``NetworkFabric``.
+    """
+
+    kind = "ideal"
+
+    def delivery_delay(self, message: NetworkMessage) -> int:
+        return self.params.network_latency_cycles
+
+    def ack_delay(self, from_node: int, to_node: int) -> int:
+        return self.params.network_latency_cycles
+
+
+#: Historical name of the fixed-latency fabric, kept as an alias so direct
+#: constructions (tests, notebooks, the legacy-kernel benchmark patch
+#: points) keep working unchanged.
+NetworkFabric = IdealFabric
 
 
 class SlidingWindow:

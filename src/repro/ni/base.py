@@ -30,7 +30,7 @@ from repro.common.types import (
     SnoopResponse,
 )
 from repro.coherence.bus import NodeInterconnect
-from repro.network.fabric import NetworkFabric, SlidingWindow
+from repro.network.fabric import AbstractFabric, SlidingWindow
 from repro.sim import Counter, Signal, Simulator, start_process
 
 
@@ -83,7 +83,7 @@ class AbstractNI(abc.ABC):
         params: MachineParams,
         addrmap: AddressMap,
         interconnect: NodeInterconnect,
-        fabric: NetworkFabric,
+        fabric: AbstractFabric,
         bus_kind: BusKind = BusKind.MEMORY,
         dram_allocator: Optional[RegionAllocator] = None,
     ):

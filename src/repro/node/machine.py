@@ -7,7 +7,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Union
 from repro.common.params import DEFAULT_PARAMS, MachineParams
 from repro.common.types import BusKind
 from repro.msglayer.messaging import MessagingLayer
-from repro.network.fabric import NetworkFabric
+from repro.network.registry import create_fabric
 from repro.node.node import Node, NodeConfig
 from repro.sim import Simulator
 
@@ -31,7 +31,7 @@ class Machine:
             base_params = base_params.with_overrides(num_nodes=num_nodes)
         self.params = base_params.validate()
         self.sim = Simulator()
-        self.fabric = NetworkFabric(self.sim, self.params)
+        self.fabric = create_fabric(self.sim, self.params)
 
         if node_configs is not None:
             if len(node_configs) != self.params.num_nodes:
@@ -98,10 +98,11 @@ class Machine:
         and the ``params`` overrides); measurement fields such as
         ``message_bytes`` or ``workload`` are the runner's concern.
         """
-        machine_params = DEFAULT_PARAMS
-        overrides = dict(getattr(spec, "params", {}) or {})
-        if overrides:
-            machine_params = machine_params.with_overrides(**overrides)
+        # spec.machine_params() merges the spec's node count into the
+        # overrides before validation, so shape-dependent parameters (an
+        # explicit grid fabric like "torus2x2") validate against the
+        # machine being built, not the default 16-node shape.
+        machine_params = spec.machine_params()
         return cls.build(
             spec.device,
             spec.bus,
@@ -228,9 +229,10 @@ class Machine:
     def describe(self) -> str:
         ni_names = {node.config.ni_name for node in self.nodes}
         buses = {node.config.ni_bus.value for node in self.nodes}
+        fabric = "" if self.params.fabric == "ideal" else f", fabric={self.params.fabric}"
         return (
             f"Machine: {len(self.nodes)} nodes, NI={'/'.join(sorted(ni_names))}, "
-            f"bus={'/'.join(sorted(buses))}"
+            f"bus={'/'.join(sorted(buses))}{fabric}"
         )
 
     def __repr__(self) -> str:

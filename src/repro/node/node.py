@@ -10,7 +10,7 @@ from repro.coherence.cache import CoherentCache, MainMemory
 from repro.common.addrmap import AddressMap, RegionAllocator
 from repro.common.params import DRAM_BASE, DRAM_SIZE, MachineParams
 from repro.common.types import AddressRange, AgentKind, BusKind
-from repro.network.fabric import NetworkFabric
+from repro.network.fabric import AbstractFabric
 from repro.ni.taxonomy import TaxonomyError, create_ni, parse_ni_name, validate_ni_kwargs
 from repro.node.processor import Processor
 from repro.sim import Simulator
@@ -72,7 +72,7 @@ class Node:
         sim: Simulator,
         node_id: int,
         params: MachineParams,
-        fabric: NetworkFabric,
+        fabric: AbstractFabric,
         config: Optional[NodeConfig] = None,
     ):
         self.sim = sim
