@@ -1,7 +1,8 @@
 """Aggregate BENCH_*.json reports into one perf-trajectory record.
 
 Every perf benchmark in this suite (``bench_engine.py``,
-``bench_polling.py``, ``bench_fabric.py``) writes a ``BENCH_<name>.json``
+``bench_polling.py``, ``bench_fabric.py``, ``bench_protocols.py``) writes
+a ``BENCH_<name>.json``
 report with ``--json``.  CI uploads each one, but a trajectory is only
 readable as *one* artifact per run: this script globs the reports, tags
 them with the commit and timestamp, distils the headline number from each,
@@ -63,10 +64,20 @@ def _fabric_headline(report: dict) -> dict:
     }
 
 
+def _protocols_headline(report: dict) -> dict:
+    rows = {row["protocol"]: row for row in report.get("rows", [])}
+    return {
+        "events_per_sec": rows.get("moesi", {}).get("events_per_sec"),
+        "dir_msi_relative_cycles": rows.get("dir-msi", {}).get("relative_cycles"),
+        "moesi_matches_golden": report.get("moesi_matches_golden"),
+    }
+
+
 _HEADLINES = {
     "engine": _engine_headline,
     "polling": _polling_headline,
     "fabric": _fabric_headline,
+    "protocols": _protocols_headline,
 }
 
 

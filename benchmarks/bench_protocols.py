@@ -1,0 +1,199 @@
+"""Protocol microbenchmark: simulator throughput across coherence tables.
+
+Runs the same macro workload mix under every shipped protocol table
+(moesi, mesi, msi, illinois, dir-msi) *in the same process* and reports,
+per protocol:
+
+* simulated completion cycles and machine-wide protocol activity
+  (transitions, invalidations, writebacks, guarded-transaction races),
+* kernel events executed and events/sec (wall-clock),
+* the throughput overhead relative to the MOESI baseline — the price of
+  swapping the rule table (and, for dir-msi, of the directory lookups).
+
+The MOESI run is additionally checked against **pinned golden cycle
+counts**: MOESI is the default protocol, so comparing against a
+freshly-built default machine would be tautological — only a pinned
+constant can catch the table-driven cache drifting from the pre-kit
+hardwired behaviour.
+
+As a CLI this doubles as a CI perf-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_protocols.py --quick --check --json BENCH_protocols.json
+
+``--check`` exits non-zero if the MOESI cycles drifted from the pinned
+golden, if any protocol failed to complete, or if a protocol's events/sec
+fell below ``1/--max-overhead`` (default 3x) of MOESI's — all runs happen
+on this machine, so the gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+from repro.apps import create_workload
+from repro.coherence.protocols import available_protocols
+from repro.common.params import DEFAULT_PARAMS
+from repro.node.machine import Machine
+
+#: Protocols measured, in report order; "moesi" is the paper baseline.
+PROTOCOLS = ("moesi", "mesi", "msi", "illinois", "dir-msi")
+
+#: Full configuration: the paper's 16-node machine at skeleton scale 1.0.
+FULL = {"num_nodes": 16, "scale": 1.0, "workloads": ("gauss", "em3d", "appbt")}
+#: Reduced configuration for CI smoke runs.
+QUICK = {"num_nodes": 8, "scale": 0.25, "workloads": ("gauss",)}
+
+DEVICE = "CNI16Qm"
+
+#: Pinned total completion cycles of the MOESI mix per configuration.
+#: MOESI through the rule-table engine is pinned bit-identical to the
+#: pre-kit hardwired cache (these are the same totals bench_fabric pins
+#: for the ideal fabric, which every run here uses).  Any drift in the
+#: table compiler or the MOESI table itself fails ``--check``.
+GOLDEN_MOESI_CYCLES = {
+    (8, 0.25, ("gauss",)): 124_822,
+    (16, 1.0, ("gauss", "em3d", "appbt")): 848_636,
+}
+
+
+def run_protocol(protocol: str, num_nodes: int, scale: float, workloads) -> dict:
+    """Run the workload mix under one protocol; returns physics + throughput."""
+    params = DEFAULT_PARAMS.with_overrides(protocol=protocol)
+    cycles = 0
+    events = 0
+    wall = 0.0
+    coherence = {}
+    for workload_name in workloads:
+        machine = Machine.build(DEVICE, "memory", num_nodes=num_nodes, params=params)
+        workload = create_workload(workload_name, scale=scale, seed=12345)
+        start = perf_counter()
+        cycles += machine.run_programs(workload.programs(machine), max_cycles=2_000_000_000)
+        wall += perf_counter() - start
+        events += machine.sim.event_count
+        for key, value in machine.coherence_stats().items():
+            if key != "protocol":
+                coherence[key] = coherence.get(key, 0) + value
+    return {
+        "protocol": protocol,
+        "cycles": cycles,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "coherence": coherence,
+    }
+
+
+def run_all(num_nodes: int, scale: float, workloads) -> dict:
+    """Measure every protocol and compare MOESI against its pinned golden."""
+    rows = [run_protocol(protocol, num_nodes, scale, workloads) for protocol in PROTOCOLS]
+    moesi = next(row for row in rows if row["protocol"] == "moesi")
+    golden = GOLDEN_MOESI_CYCLES.get((num_nodes, scale, tuple(workloads)))
+    for row in rows:
+        row["relative_events_per_sec"] = (
+            row["events_per_sec"] / moesi["events_per_sec"]
+            if moesi["events_per_sec"]
+            else 0.0
+        )
+        row["relative_cycles"] = row["cycles"] / moesi["cycles"] if moesi["cycles"] else 0.0
+    return {
+        "num_nodes": num_nodes,
+        "scale": scale,
+        "workloads": list(workloads),
+        "device": DEVICE,
+        "rows": rows,
+        "golden_moesi_cycles": golden,
+        # None (no golden pinned for this configuration) is not a failure;
+        # --check only gates the pinned configurations.
+        "moesi_matches_golden": golden is None or moesi["cycles"] == golden,
+        "registered_protocols": [spec.name for spec in available_protocols()],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry
+# ----------------------------------------------------------------------
+def test_protocol_throughput(benchmark):
+    from _util import single_run
+
+    report = single_run(
+        benchmark, run_all, QUICK["num_nodes"], QUICK["scale"], QUICK["workloads"]
+    )
+    print()
+    for row in report["rows"]:
+        print(
+            f"{row['protocol']:8s}: {row['cycles']:>10,} cycles "
+            f"({row['relative_cycles']:.3f}x moesi), "
+            f"{row['events_per_sec']:,.0f} events/sec"
+        )
+    assert report["moesi_matches_golden"]
+    for row in report["rows"]:
+        assert row["events"] > 0
+        assert row["coherence"]["protocol_transitions"] > 0
+
+
+# ----------------------------------------------------------------------
+# CLI (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"reduced mix ({QUICK['num_nodes']} nodes, scale {QUICK['scale']})")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on MOESI drift or excessive protocol overhead")
+    parser.add_argument("--max-overhead", type=float, default=3.0,
+                        help="fail --check if a protocol's events/sec < moesi / this factor")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    config = QUICK if args.quick else FULL
+    report = run_all(config["num_nodes"], config["scale"], config["workloads"])
+
+    print(f"{'protocol':9s} {'cycles':>12s} {'vs moesi':>9s} {'events/sec':>12s} "
+          f"{'invalidations':>14s} {'writebacks':>11s} {'races':>6s}")
+    for row in report["rows"]:
+        coherence = row["coherence"]
+        print(
+            f"{row['protocol']:9s} {row['cycles']:>12,} {row['relative_cycles']:>8.3f}x "
+            f"{row['events_per_sec']:>12,.0f} "
+            f"{coherence.get('protocol_invalidations', 0):>14,} "
+            f"{coherence.get('protocol_writebacks', 0):>11,} "
+            f"{coherence.get('protocol_races', 0):>6,}"
+        )
+    golden = report["golden_moesi_cycles"]
+    if golden is None:
+        print("\nmoesi golden: none pinned for this configuration")
+    else:
+        marker = "match" if report["moesi_matches_golden"] else "DRIFTED"
+        print(f"\nmoesi vs pinned golden ({golden:,} cycles): {marker}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+
+    if args.check:
+        if not report["moesi_matches_golden"]:
+            print(
+                f"FAIL: MOESI cycles drifted from the pinned golden "
+                f"({report['golden_moesi_cycles']:,})",
+                file=sys.stderr,
+            )
+            return 1
+        moesi_rate = next(r for r in report["rows"] if r["protocol"] == "moesi")["events_per_sec"]
+        floor = moesi_rate / args.max_overhead
+        slow = [r["protocol"] for r in report["rows"] if r["events_per_sec"] < floor]
+        if slow:
+            print(
+                f"FAIL: protocols below 1/{args.max_overhead:g} of moesi events/sec: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check passed: all protocols >= {floor:,.0f} events/sec floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

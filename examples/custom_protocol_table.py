@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Register a custom coherence-protocol rule table and measure it: a
+Dragon-style *update-based* protocol plugged in through
+``@register_protocol``, proven safe by the exhaustive model checker, and
+run through the ``protocol_sweep`` preset against the shipped
+write-invalidate tables.
+
+The Dragon protocol (Xerox PARC's Dragon multiprocessor) never invalidates
+sharers: a write to a shared block broadcasts the new data and every copy
+stays valid.  Its states map onto the simulator's MOESI enum as
+
+    ========  ===========================  ==========
+    Dragon    meaning                      enum state
+    ========  ===========================  ==========
+    E         exclusive clean              EXCLUSIVE
+    Sc        shared clean (update taker)  SHARED
+    Sm        shared dirty (update owner)  OWNED
+    D         dirty exclusive              MODIFIED
+    ========  ===========================  ==========
+
+so UPGRADE plays the role of the update broadcast (sharers take the new
+data and stay SHARED; the previous owner relinquishes ownership) and a
+write miss is a read-with-update (holders supply, take the update and
+drop to SHARED; the writer becomes the single owner).
+
+Once registered, the table's name works everywhere a built-in protocol
+name does: ``MachineParams(protocol="dragon")``, experiment specs,
+``protocol_sweep`` — and ``python -m repro.coherence.modelcheck`` can
+prove its safety invariants before a single cycle is simulated.
+
+Run with::
+
+    python examples/custom_protocol_table.py [--nodes 8] [--scale 0.25]
+"""
+
+import argparse
+
+from repro.api import SweepRunner, protocol_sweep
+from repro.coherence.modelcheck import check_protocol
+from repro.coherence.protocols import ProtocolSpec, SnoopRule, Unsafe, register_protocol
+from repro.common.types import BusOp, CoherenceState
+
+I = CoherenceState.INVALID
+S = CoherenceState.SHARED    # Dragon Sc
+E = CoherenceState.EXCLUSIVE
+O = CoherenceState.OWNED     # Dragon Sm  # noqa: E741
+M = CoherenceState.MODIFIED  # Dragon D
+
+RS, RE, UP, WB = (
+    BusOp.READ_SHARED,
+    BusOp.READ_EXCLUSIVE,
+    BusOp.UPGRADE,
+    BusOp.WRITEBACK,
+)
+
+#: Every valid copy reacts to a snooped update or read-with-update the same
+#: way: take the new data, stay (or become) a plain sharer, let the writer
+#: own the block.  Dirty holders supply on the read-with-update.
+_TAKE_UPDATE = {
+    (M, RE): SnoopRule(S, supplies_data=True, shared=True),
+    (O, RE): SnoopRule(S, supplies_data=True, shared=True),
+    (E, RE): SnoopRule(S, supplies_data=True, shared=True),
+    (S, RE): SnoopRule(S, shared=True),
+    (M, UP): SnoopRule(S, shared=True),
+    (O, UP): SnoopRule(S, shared=True),
+    (E, UP): SnoopRule(S, shared=True),
+    (S, UP): SnoopRule(S, shared=True),
+}
+
+
+@register_protocol
+def dragon() -> ProtocolSpec:
+    return ProtocolSpec(
+        name="dragon",
+        description="update-based (Dragon): writes broadcast data, sharers stay valid",
+        states=(I, S, E, O, M),
+        dirty_states=frozenset({M, O}),
+        writable_states=frozenset({M, E}),
+        read_fill=(("unshared", E), ("always", S)),
+        write_hit_next={M: M, E: M},
+        # A write to a shared copy broadcasts an update: the writer owns the
+        # block afterwards (dirty-exclusive if nobody answered, dirty-shared
+        # otherwise); a write miss is a read-with-update with the same fill.
+        write_upgrade_fill=(("unshared", M), ("always", O)),
+        write_miss_fill=(("unshared", M), ("always", O)),
+        write_miss_op=RE,
+        snoop_rules={
+            # Snooped plain reads: like MOESI, dirty owners keep supplying.
+            (M, RS): SnoopRule(O, supplies_data=True, shared=True),
+            (O, RS): SnoopRule(O, supplies_data=True, shared=True),
+            (E, RS): SnoopRule(S, supplies_data=True, shared=True),
+            (S, RS): SnoopRule(S, shared=True),
+            **_TAKE_UPDATE,
+            (M, WB): SnoopRule(M, forbidden="snooped writeback of a block we own dirty"),
+            (O, WB): SnoopRule(O, forbidden="snooped writeback of a block we own dirty"),
+        },
+        unsafe=(
+            Unsafe("two dirty-exclusive owners", "M >= 2"),
+            Unsafe("two update owners", "O >= 2"),
+            Unsafe("two exclusive-clean copies", "E >= 2"),
+            Unsafe("dirty-exclusive beside other copies", "M >= 1 and S + E + O >= 1"),
+        ),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    # 1. Prove the table safe before running anything on it.
+    result = check_protocol("dragon")
+    print(result.describe())
+    if not result.ok:
+        raise SystemExit("refusing to simulate an unsafe protocol table")
+
+    # 2. Race it against the shipped tables through the standard preset.
+    sweep = protocol_sweep(
+        workloads=("gauss",),
+        protocols=("moesi", "mesi", "dragon"),
+        num_nodes=args.nodes,
+        scale=args.scale,
+    )
+    results = SweepRunner(jobs=1, cache_dir=None).run(sweep)
+
+    print(f"\ngauss x{args.scale:g} on {args.nodes} nodes (CNI16Qm, memory bus):")
+    rows = sorted(
+        results, key=lambda r: r.metrics["cycles"]
+    )
+    for r in rows:
+        protocol = r.spec.params["protocol"]
+        print(
+            f"  {protocol:<7} cycles={r.metrics['cycles']:>10,.0f}  "
+            f"membus occupancy={r.metrics['memory_bus_occupancy']:>10,.0f}"
+        )
+    by_protocol = {r.spec.params["protocol"]: r.metrics["cycles"] for r in results}
+    print(
+        "\nThe update protocol trades invalidation misses for update traffic:"
+        "\nevery write to a shared block costs a bus broadcast, but consumers"
+        "\npolling a line the producer keeps writing never take a coherence miss."
+    )
+    if by_protocol["dragon"] < min(by_protocol["moesi"], by_protocol["mesi"]):
+        print(
+            "On this producer-consumer messaging workload that trade pays off:"
+            f"\ndragon finishes {min(by_protocol['moesi'], by_protocol['mesi']) / by_protocol['dragon']:.2f}x"
+            " faster than the best invalidate-based table."
+        )
+    else:
+        print(
+            "On this run the broadcast cost dominates and the invalidate-based"
+            "\ntables come out ahead — scale the problem up to shift the balance."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ from repro.api.presets import (
     MACRO_TRIO,
     SCALABILITY_FABRICS,
     SCALABILITY_NODE_COUNTS,
+    SHIPPED_PROTOCOLS,
     bandwidth_sweep,
     device_space_sweep,
     engine_sweep,
@@ -37,6 +38,7 @@ from repro.api.presets import (
     network_sensitivity_sweep,
     occupancy_reductions,
     paper_tables,
+    protocol_sweep,
     scalability_sweep,
     speedups,
 )
@@ -59,12 +61,14 @@ __all__ = [
     "engine_sweep",
     "device_space_sweep",
     "scalability_sweep",
+    "protocol_sweep",
     "network_sensitivity_sweep",
     "DEVICE_FAMILIES",
     "FAMILY_CONFIGS",
     "MACRO_TRIO",
     "SCALABILITY_FABRICS",
     "SCALABILITY_NODE_COUNTS",
+    "SHIPPED_PROTOCOLS",
     "speedups",
     "occupancy_reductions",
     "paper_tables",

@@ -5,10 +5,12 @@ cache directory, so repeated figure regeneration skips the simulation
 entirely.  The key mixes the spec's own hash with the device-registry
 schema version (:data:`repro.ni.registry.DEVICE_SCHEMA_VERSION`) and the
 fabric-registry schema version
-(:data:`repro.network.registry.FABRIC_SCHEMA_VERSION`): a spec only
-*names* its device and fabric, so when the rules that assemble a device —
-or time a fabric — change, every cached sweep result silently computed
-under the old rules must stop matching.  Corrupt or stale-schema entries
+(:data:`repro.network.registry.FABRIC_SCHEMA_VERSION`) and the coherence
+protocol schema version
+(:data:`repro.coherence.protocols.PROTOCOL_SCHEMA_VERSION`): a spec only
+*names* its device, fabric and protocol, so when the rules that assemble
+a device — or time a fabric, or transition a cache — change, every cached
+sweep result silently computed under the old rules must stop matching.  Corrupt or stale-schema entries
 are treated as misses and rewritten; the cache is safe to delete at any
 time.
 """
@@ -23,6 +25,7 @@ from typing import Dict, Optional
 
 from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec
+from repro.coherence.protocols import PROTOCOL_SCHEMA_VERSION
 from repro.network.registry import FABRIC_SCHEMA_VERSION
 from repro.ni.registry import DEVICE_SCHEMA_VERSION
 
@@ -47,10 +50,12 @@ class ResultCache:
         self.misses = 0
 
     def cache_key(self, spec: ExperimentSpec) -> str:
-        """Spec hash widened with the device and fabric schema versions."""
+        """Spec hash widened with the device, fabric and protocol schema
+        versions."""
         payload = (
             f"{spec.spec_hash()}:device-schema-{DEVICE_SCHEMA_VERSION}"
             f":fabric-schema-{FABRIC_SCHEMA_VERSION}"
+            f":protocol-schema-{PROTOCOL_SCHEMA_VERSION}"
         )
         return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
@@ -84,6 +89,10 @@ class ResultCache:
             # Fabric timing semantics changed since this entry was written.
             self.misses += 1
             return None
+        if payload.get("protocol_schema_version") != PROTOCOL_SCHEMA_VERSION:
+            # Coherence transition rules changed since this entry was written.
+            self.misses += 1
+            return None
         if result.spec.spec_hash() != spec.spec_hash():
             # Hash collision in the filename or a hand-edited entry.
             self.misses += 1
@@ -100,6 +109,7 @@ class ResultCache:
         payload["repro_version"] = _repro_version()
         payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
         payload["fabric_schema_version"] = FABRIC_SCHEMA_VERSION
+        payload["protocol_schema_version"] = PROTOCOL_SCHEMA_VERSION
         # Write-rename so a crashed run never leaves a torn JSON file.
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

@@ -328,6 +328,57 @@ def network_sensitivity_sweep(
     return SweepSpec.explicit(points, name=name)
 
 
+#: Coherence protocols the kit ships (see :mod:`repro.coherence.protocols`):
+#: the paper's MOESI baseline, the classic invalidate family, and the
+#: home-node directory variant.  Plugin tables join a sweep by passing an
+#: explicit ``protocols=`` list.
+SHIPPED_PROTOCOLS: Tuple[str, ...] = ("moesi", "mesi", "msi", "illinois", "dir-msi")
+
+
+def protocol_sweep(
+    workloads: Sequence[str] = MACRO_TRIO,
+    configs: Sequence[Tuple[str, str]] = (("CNI16Qm", "memory"),),
+    protocols: Sequence[str] = SHIPPED_PROTOCOLS,
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "protocols",
+) -> SweepSpec:
+    """Coherence-protocol axis: the fig8 macro trio per rule table.
+
+    The paper fixes MOESI; this preset re-runs each macro workload ×
+    configuration cell under every requested protocol table so the cost of
+    the protocol itself (dirty sharing vs memory reflection, broadcast vs
+    directory filtering) is directly comparable.  ``protocols`` accepts any
+    registered table name — including plugin tables registered with
+    :func:`repro.coherence.protocols.register_protocol` — and each name is
+    validated when the sweep's points validate their machine parameters.
+    ``params`` adds machine-parameter overrides shared by all points (the
+    protocol name is layered on top).
+    """
+    per_workload = dict(workload_kwargs or {})
+    base_params = dict(params or {})
+    points: List[ExperimentSpec] = []
+    for protocol in protocols:
+        for workload in workloads:
+            kwargs = dict(per_workload.get(workload, {}))
+            for device, bus in configs:
+                points.append(
+                    ExperimentSpec(
+                        kind="macro",
+                        device=device,
+                        bus=bus,
+                        num_nodes=num_nodes,
+                        workload=workload,
+                        scale=scale,
+                        workload_kwargs=kwargs,
+                        params={**base_params, "protocol": protocol},
+                    )
+                )
+    return SweepSpec.explicit(points, name=name)
+
+
 def speedups(
     results: ResultSet,
     workload: str,

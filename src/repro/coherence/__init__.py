@@ -1,7 +1,24 @@
-"""MOESI snooping-coherence substrate: buses, caches, main memory."""
+"""Snooping/directory coherence substrate: buses, caches, main memory.
+
+The protocol state machine itself lives in declarative rule tables
+(:mod:`repro.coherence.protocols`); :mod:`repro.coherence.modelcheck`
+exhaustively proves every registered table's safety invariants.
+"""
 
 from repro.coherence.bus import BusError, NodeInterconnect, NACK_BACKOFF_CYCLES
 from repro.coherence.cache import CacheError, CoherentCache, MainMemory
+from repro.coherence.directory import HomeDirectory
+from repro.coherence.protocols import (
+    PROTOCOL_SCHEMA_VERSION,
+    ProtocolError,
+    ProtocolSpec,
+    SnoopRule,
+    Unsafe,
+    available_protocols,
+    protocol_spec,
+    register_protocol,
+    unregister_protocol,
+)
 
 __all__ = [
     "NodeInterconnect",
@@ -10,4 +27,14 @@ __all__ = [
     "CoherentCache",
     "CacheError",
     "MainMemory",
+    "HomeDirectory",
+    "PROTOCOL_SCHEMA_VERSION",
+    "ProtocolError",
+    "ProtocolSpec",
+    "SnoopRule",
+    "Unsafe",
+    "available_protocols",
+    "protocol_spec",
+    "register_protocol",
+    "unregister_protocol",
 ]

@@ -78,6 +78,19 @@ class NodeInterconnect:
         self._cache_buses = (
             (BusKind.CACHE, [self.cachebus]) if self.cachebus is not None else None
         )
+        # Home-node directory, when the active protocol asks for one.  The
+        # default protocol short-circuits so the common path never imports
+        # the protocol kit from here.
+        self.directory = None
+        self._dir_lookup_cycles = 0
+        if params.protocol != "moesi":
+            from repro.coherence.protocols import protocol_spec
+
+            if protocol_spec(params.protocol).directory:
+                from repro.coherence.directory import HomeDirectory
+
+                self.directory = HomeDirectory()
+                self._dir_lookup_cycles = params.directory_lookup_cycles
         self.stats = Counter()
         self.nack_count = 0
 
@@ -153,13 +166,25 @@ class NodeInterconnect:
         op: BusOp,
         address: int,
         size: int,
+        guard=None,
     ):
         """Perform one bus transaction.  Generator; returns the transaction.
 
         The snoop phase runs while the bus is held; every attached agent
         other than the initiator gets to observe (and update its state for)
         the transaction.  The data supplier and resulting occupancy are
-        resolved from the snoop responses and the paper's Table 2.
+        resolved from the snoop responses and the paper's Table 2.  Under a
+        directory protocol the broadcast is replaced by a lookup of the
+        block's recorded owner/sharers (plus its home).
+
+        ``guard``, if given, is re-evaluated once the buses are held but
+        before anything is snooped.  If it returns falsy the transaction
+        aborts — buses are released, no agent observes anything, and the
+        generator returns ``None`` instead of the transaction.  Caches use
+        this to make decide-then-arbitrate sequences (writeback of a dirty
+        victim, an upgrade from a valid copy) atomic: a concurrent
+        transaction can invalidate the premise during the bus wait, and the
+        stale request must then not appear on the bus at all.
         """
         home, block_address, cachable = self._addr_info(address)
         # Positional construction: this runs for every bus transaction.
@@ -210,6 +235,11 @@ class NodeInterconnect:
                     yield resource
                     held.append(resource)
 
+            # --- Guard ----------------------------------------------------
+            if guard is not None and not guard():
+                self.stats.add("txn_aborted")
+                return None
+
             # --- Snoop phase ----------------------------------------------
             if op is BusOp.UNCACHED_READ or op is BusOp.UNCACHED_WRITE:
                 # Uncached register accesses terminate at the home device:
@@ -220,14 +250,21 @@ class NodeInterconnect:
                 txn.supplier = home
                 txn.supplier_kind = home.agent_kind
             else:
-                snoopers = self._snoopers_cache.get(id(initiator))
-                if snoopers is None:
-                    snoopers = [agent for agent in self._agents if agent is not initiator]
-                    if len(snoopers) != len(self._agents):
-                        # Attached initiators are kept alive by _agents, so
-                        # their id() cannot be recycled while cached.  An
-                        # unattached initiator gets no cache entry.
-                        self._snoopers_cache[id(initiator)] = snoopers
+                directory = self.directory
+                if directory is not None and cachable:
+                    snoopers = directory.holders(txn, home)
+                    counts = self.stats.raw
+                    counts["dir_lookups"] += 1
+                    counts["dir_agents_consulted"] += len(snoopers)
+                else:
+                    snoopers = self._snoopers_cache.get(id(initiator))
+                    if snoopers is None:
+                        snoopers = [agent for agent in self._agents if agent is not initiator]
+                        if len(snoopers) != len(self._agents):
+                            # Attached initiators are kept alive by _agents,
+                            # so their id() cannot be recycled while cached.
+                            # An unattached initiator gets no cache entry.
+                            self._snoopers_cache[id(initiator)] = snoopers
                 for agent in snoopers:
                     response = agent.snoop(txn)
                     if response is None:
@@ -243,18 +280,26 @@ class NodeInterconnect:
                     txn.supplier = home
                     txn.supplier_kind = home.agent_kind
                     txn.data_from_memory = home.agent_kind is AgentKind.MEMORY
+                if directory is not None and cachable:
+                    directory.record(txn)
 
             # --- Occupancy ------------------------------------------------
             occ_key = (op, timing_bus, txn.initiator_kind, txn.supplier_kind, txn.data_from_memory)
             occupancy = self._occupancy_cache.get(occ_key)
             if occupancy is None:
-                occupancy = self._occupancy_cache[occ_key] = self.params.occupancy(
+                occupancy = self.params.occupancy(
                     op,
                     timing_bus,
                     txn.initiator_kind,
                     txn.supplier_kind,
                     data_from_memory=txn.data_from_memory,
                 )
+                if self.directory is not None and cachable:
+                    # The home consults its owner/sharer state before the
+                    # data phase; the occupancy cache is per-interconnect,
+                    # so folding the penalty into the memoised value is safe.
+                    occupancy += self._dir_lookup_cycles
+                self._occupancy_cache[occ_key] = occupancy
             counts = self.stats.raw
             counts[_TXN_OP_KEY[op]] += 1
             counts[_TXN_BUS_KEY[timing_bus]] += 1

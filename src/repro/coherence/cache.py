@@ -1,4 +1,4 @@
-"""Direct-mapped snooping cache with a MOESI write-invalidate protocol.
+"""Direct-mapped snooping cache driven by a declarative protocol table.
 
 The same class models both the 256 KB processor cache and the small device
 caches inside coherent network interfaces; only the geometry and the agent
@@ -6,12 +6,20 @@ kind differ.  Caches track coherence state per block — the reproduction does
 not model data contents, because functional message payloads travel through
 the NI device queues as Python objects and only hit/miss behaviour and the
 resulting bus traffic matter for the paper's results.
+
+Every state transition — fills, silent store hits, upgrades, evictions and
+snoop reactions — comes from the :class:`~repro.coherence.protocols.
+ProtocolSpec` selected by ``MachineParams.protocol`` (the paper's MOESI by
+default).  The table is compiled once per protocol into dispatch dicts, so
+the hot paths cost the same as the previously hardwired MOESI logic.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.coherence.bus import NodeInterconnect
+from repro.coherence.protocols import ProtocolSpec, protocol_spec
 from repro.common.addrmap import AddressMap
 from repro.common.params import MachineParams
 from repro.common.types import (
@@ -22,7 +30,6 @@ from repro.common.types import (
     CoherenceState,
     SnoopResponse,
 )
-from repro.coherence.bus import NodeInterconnect
 from repro.sim import Counter, Simulator
 
 
@@ -47,8 +54,86 @@ class _BlockEntry:
         return self.tag == tag
 
 
+# ----------------------------------------------------------------------
+# Protocol-table compilation
+# ----------------------------------------------------------------------
+def _compile_fill(rules) -> Callable[[BusTransaction], CoherenceState]:
+    """Turn ordered (condition, state) fill rules into one closure."""
+    if len(rules) == 1:  # validated: the last (here only) rule is "always"
+        state = rules[0][1]
+        return lambda txn: state
+
+    def _memory_unshared(txn: BusTransaction) -> bool:
+        return txn.supplier_kind is AgentKind.MEMORY and not txn.shared
+
+    def _unshared(txn: BusTransaction) -> bool:
+        return not txn.shared
+
+    conditions = {"memory_unshared": _memory_unshared, "unshared": _unshared}
+    compiled = tuple(
+        (None if condition == "always" else conditions[condition], state)
+        for condition, state in rules
+    )
+
+    def fill(txn: BusTransaction) -> CoherenceState:
+        for condition, state in compiled:
+            if condition is None or condition(txn):
+                return state
+        raise CacheError("fill rules exhausted")  # unreachable: validated
+
+    return fill
+
+
+class _CompiledProtocol:
+    """A :class:`ProtocolSpec` flattened into hot-path dispatch tables."""
+
+    __slots__ = (
+        "spec", "dirty", "writable", "write_hit_next", "read_fill",
+        "upgrade_fill", "write_miss_fill", "write_miss_op", "snoop_table",
+        "snarf_state",
+    )
+
+    def __init__(self, spec: ProtocolSpec):
+        self.spec = spec
+        self.dirty = frozenset(spec.dirty_states)
+        self.writable = frozenset(spec.writable_states)
+        self.write_hit_next = dict(spec.write_hit_next)
+        self.read_fill = _compile_fill(spec.read_fill)
+        self.upgrade_fill = _compile_fill(spec.write_upgrade_fill)
+        self.write_miss_fill = _compile_fill(spec.write_miss_fill)
+        self.write_miss_op = spec.write_miss_op
+        #: (state, op) -> (next_state, response-or-None, forbidden, writes_back).
+        #: Responses are shared immutable-by-convention instances; the bus
+        #: only reads them, so one allocation per rule serves every snoop.
+        self.snoop_table: Dict[tuple, tuple] = {}
+        for key, rule in spec.snoop_rules.items():
+            response = None
+            if rule.supplies_data or rule.shared:
+                response = SnoopResponse(rule.supplies_data, rule.shared)
+            self.snoop_table[key] = (rule.next_state, response, rule.forbidden, rule.writes_back)
+        self.snarf_state = (
+            CoherenceState.SHARED if CoherenceState.SHARED in spec.states else None
+        )
+
+
+#: Compiled engines memoised per protocol name; re-registering a name (the
+#: plugin ``replace=True`` path) produces a different spec object and
+#: recompiles.
+_ENGINE_CACHE: Dict[str, Tuple[ProtocolSpec, _CompiledProtocol]] = {}
+
+
+def _engine_for(name: str) -> _CompiledProtocol:
+    spec = protocol_spec(name)
+    cached = _ENGINE_CACHE.get(name)
+    if cached is not None and cached[0] is spec:
+        return cached[1]
+    engine = _CompiledProtocol(spec)
+    _ENGINE_CACHE[name] = (spec, engine)
+    return engine
+
+
 class CoherentCache:
-    """A direct-mapped, write-allocate MOESI cache attached to a node bus."""
+    """A direct-mapped, write-allocate coherent cache attached to a node bus."""
 
     def __init__(
         self,
@@ -79,6 +164,18 @@ class CoherentCache:
         # for the (common) runs that touch a fraction of the sets.
         self._sets: List[Optional[_BlockEntry]] = [None] * self.num_sets
         self.stats = Counter()
+        # The active protocol table, compiled into dispatch dicts.
+        engine = _engine_for(params.protocol)
+        self.protocol: ProtocolSpec = engine.spec
+        self._dirty = engine.dirty
+        self._writable = engine.writable
+        self._write_hit_next = engine.write_hit_next
+        self._read_fill = engine.read_fill
+        self._upgrade_fill = engine.upgrade_fill
+        self._write_miss_fill = engine.write_miss_fill
+        self._write_miss_op = engine.write_miss_op
+        self._snoop_table = engine.snoop_table
+        self._snarf_state = engine.snarf_state
         # Hot-path constants (one attribute load instead of a params chase).
         self._hit_cycles = params.cache_hit_cycles
         self._miss_tail_cycles = self._miss_extra_cycles() + params.cache_hit_cycles
@@ -169,14 +266,12 @@ class CoherentCache:
             self, BusOp.READ_SHARED, block_addr, self.block_bytes
         )
         entry.tag = tag
-        if txn.supplier_kind is AgentKind.MEMORY and not txn.shared:
-            entry.state = CoherenceState.EXCLUSIVE
-        else:
-            entry.state = CoherenceState.SHARED
+        entry.state = self._read_fill(txn)
+        self._counts["state_transitions"] += 1
         yield self._miss_tail_cycles
 
     def write_block(self, block_addr: int):
-        """Obtain write permission (M) for a single block."""
+        """Obtain write permission for a single block."""
         block_bytes = self.block_bytes
         block_addr -= block_addr % block_bytes
         block_number = block_addr // block_bytes
@@ -186,30 +281,42 @@ class CoherentCache:
         if entry is None:
             entry = self._sets[index] = _BlockEntry()
         if entry.matches(tag):
-            if entry.state is CoherenceState.MODIFIED:
+            next_state = self._write_hit_next.get(entry.state)
+            if next_state is not None:
+                # Silent store hit (M stays M, MESI-style E->M, ...).
                 self._counts["write_hits"] += 1
+                if next_state is not entry.state:
+                    entry.state = next_state
+                    self._counts["state_transitions"] += 1
                 yield self._hit_cycles
                 return
-            if entry.state is CoherenceState.EXCLUSIVE:
-                self._counts["write_hits"] += 1
-                entry.state = CoherenceState.MODIFIED
-                yield self._hit_cycles
-                return
-            # SHARED or OWNED: upgrade (invalidate other copies).
+            # Valid but not silently writable: upgrade (invalidate others).
+            # The guard re-validates our copy at bus-grant time — if a
+            # concurrent transaction invalidated it while we arbitrated, the
+            # upgrade would claim ownership of data we no longer hold, so it
+            # aborts and the write falls back to a full write miss.
             self.stats.add("write_upgrades")
-            yield from self.interconnect.transaction(
-                self, BusOp.UPGRADE, block_addr, self.block_bytes
+            txn = yield from self.interconnect.transaction(
+                self, BusOp.UPGRADE, block_addr, self.block_bytes,
+                guard=lambda: entry.matches(tag),
             )
-            entry.state = CoherenceState.MODIFIED
-            yield self.params.cache_hit_cycles
-            return
-        self.stats.add("write_misses")
+            if txn is not None:
+                next_state = self._upgrade_fill(txn)
+                if next_state is not entry.state:
+                    entry.state = next_state
+                    self._counts["state_transitions"] += 1
+                yield self.params.cache_hit_cycles
+                return
+            self._counts["upgrade_races"] += 1
+        else:
+            self.stats.add("write_misses")
         yield from self._evict_if_needed(entry, index)
-        yield from self.interconnect.transaction(
-            self, BusOp.READ_EXCLUSIVE, block_addr, self.block_bytes
+        txn = yield from self.interconnect.transaction(
+            self, self._write_miss_op, block_addr, self.block_bytes
         )
         entry.tag = tag
-        entry.state = CoherenceState.MODIFIED
+        entry.state = self._write_miss_fill(txn)
+        self._counts["state_transitions"] += 1
         yield self._miss_tail_cycles
 
     def _miss_extra_cycles(self) -> int:
@@ -231,25 +338,36 @@ class CoherentCache:
         index, tag = self._locate(block_addr)
         entry = self._entry(index)
         if entry.matches(tag):
-            if entry.state.is_writable():
+            if entry.state in self._writable:
                 self._counts["write_hits"] += 1
-                entry.state = CoherenceState.MODIFIED
+                next_state = self._write_hit_next[entry.state]
+                if next_state is not entry.state:
+                    entry.state = next_state
+                    self._counts["state_transitions"] += 1
                 yield self._hit_cycles
                 return
             self.stats.add("write_upgrades")
-            yield from self.interconnect.transaction(
-                self, BusOp.UPGRADE, block_addr, self.block_bytes
+            txn = yield from self.interconnect.transaction(
+                self, BusOp.UPGRADE, block_addr, self.block_bytes,
+                guard=lambda: entry.matches(tag),
             )
-            entry.state = CoherenceState.MODIFIED
-            yield self.params.cache_hit_cycles
-            return
-        self.stats.add("write_misses_full_block")
+            if txn is not None:
+                next_state = self._upgrade_fill(txn)
+                if next_state is not entry.state:
+                    entry.state = next_state
+                    self._counts["state_transitions"] += 1
+                yield self.params.cache_hit_cycles
+                return
+            self._counts["upgrade_races"] += 1
+        else:
+            self.stats.add("write_misses_full_block")
         yield from self._evict_if_needed(entry, index)
-        yield from self.interconnect.transaction(
+        txn = yield from self.interconnect.transaction(
             self, BusOp.UPGRADE, block_addr, self.block_bytes
         )
         entry.tag = tag
-        entry.state = CoherenceState.MODIFIED
+        entry.state = self._upgrade_fill(txn)
+        self._counts["state_transitions"] += 1
         yield self.params.cache_hit_cycles
 
     def flush_block(self, block_addr: int):
@@ -259,12 +377,20 @@ class CoherentCache:
         entry = self._sets[index]
         if entry is None or not entry.matches(tag):
             return
-        if entry.state.is_dirty():
-            self.stats.add("explicit_flushes")
-            yield from self.interconnect.transaction(
-                self, BusOp.WRITEBACK, block_addr, self.block_bytes
+        if entry.state in self._dirty:
+            txn = yield from self.interconnect.transaction(
+                self, BusOp.WRITEBACK, block_addr, self.block_bytes,
+                guard=lambda: entry.state in self._dirty,
             )
-        entry.state = CoherenceState.INVALID
+            if txn is not None:
+                self.stats.add("explicit_flushes")
+            else:
+                # Invalidated while arbitrating: the data is no longer ours
+                # to write back (the new owner carries it).
+                self._counts["flush_races"] += 1
+        if entry.state is not CoherenceState.INVALID:
+            entry.state = CoherenceState.INVALID
+            self._counts["state_transitions"] += 1
 
     def invalidate_block(self, block_addr: int) -> None:
         """Locally drop a block without any bus traffic (device-internal use)."""
@@ -273,19 +399,37 @@ class CoherentCache:
         entry = self._sets[index]
         if entry is not None and entry.matches(tag):
             entry.state = CoherenceState.INVALID
+            self._counts["state_transitions"] += 1
 
     def _evict_if_needed(self, entry: _BlockEntry, index: int):
         if entry.state is CoherenceState.INVALID or entry.tag is None:
+            # Clear any stale tag before the frame is refilled.  An
+            # invalidated frame keeps its tag so data snarfing can
+            # resurrect the block — but once a miss starts repurposing the
+            # frame, a snarf during the refill's bus wait would claim a
+            # block this cache is about to overwrite (a stale hit reported
+            # to the requester).  See tests/test_protocols.py.
+            entry.tag = None
             return
         victim_addr = self._block_base(index, entry.tag)
-        if entry.state.is_dirty():
-            self.stats.add("writebacks")
-            yield from self.interconnect.transaction(
-                self, BusOp.WRITEBACK, victim_addr, self.block_bytes
+        if entry.state in self._dirty:
+            # Guarded like the explicit flush: if a snooped invalidation
+            # takes the block while we wait for the bus, the new owner holds
+            # the only dirty copy and our writeback must not happen (it
+            # would look like two dirty owners to the new owner's snooper).
+            txn = yield from self.interconnect.transaction(
+                self, BusOp.WRITEBACK, victim_addr, self.block_bytes,
+                guard=lambda: entry.state in self._dirty,
             )
+            if txn is not None:
+                self.stats.add("writebacks")
+            else:
+                self._counts["writeback_races"] += 1
         else:
             self.stats.add("clean_evictions")
-        entry.state = CoherenceState.INVALID
+        if entry.state is not CoherenceState.INVALID:
+            entry.state = CoherenceState.INVALID
+            self._counts["state_transitions"] += 1
         entry.tag = None
 
     # ------------------------------------------------------------------
@@ -297,7 +441,8 @@ class CoherentCache:
         Returns ``None`` (which the bus treats exactly like an all-default
         :class:`SnoopResponse`) whenever this cache neither supplies data
         nor reports the block shared, so the common miss path allocates
-        nothing.
+        nothing.  The reaction itself is a table lookup on the active
+        protocol's ``(state, op)`` snoop rules.
         """
         op = txn.op
         if op is BusOp.UNCACHED_READ or op is BusOp.UNCACHED_WRITE:
@@ -311,46 +456,43 @@ class CoherentCache:
 
         if entry is None or not entry.matches(tag):
             # Data snarfing (paper Section 5.1.2): pick up data flying by on
-            # the bus when the tag matches an invalid frame.
+            # the bus when an *invalid* frame still carries the matching
+            # tag.  The invalid-state check is explicit — a bare tag match
+            # would also cover valid frames, which never reach this branch
+            # but would make the guard silently wrong if the enclosing
+            # condition ever changed.
             if (
                 self.snarfing
                 and entry is not None
-                and entry.tag_matches(tag)
+                and entry.state is CoherenceState.INVALID
+                and entry.tag == tag
+                and self._snarf_state is not None
                 and op in (BusOp.WRITEBACK, BusOp.READ_SHARED)
             ):
-                entry.state = CoherenceState.SHARED
+                entry.state = self._snarf_state
                 self.stats.add("snarfed_blocks")
+                self._counts["state_transitions"] += 1
                 self._notify_listener(txn)
                 return SnoopResponse(shared=True)
             self._notify_listener(txn)
             return None
 
-        response: Optional[SnoopResponse] = None
-        if op is BusOp.READ_SHARED:
-            supplies = False
-            if entry.state is CoherenceState.MODIFIED:
-                entry.state = CoherenceState.OWNED
-                supplies = True
-            elif entry.state is CoherenceState.OWNED:
-                supplies = True
-            elif entry.state is CoherenceState.EXCLUSIVE:
-                entry.state = CoherenceState.SHARED
-                supplies = True
-            response = SnoopResponse(supplies_data=supplies, shared=True)
-        elif op is BusOp.READ_EXCLUSIVE or op is BusOp.UPGRADE:
-            if entry.state.is_dirty() and op is BusOp.READ_EXCLUSIVE:
-                response = SnoopResponse(supplies_data=True)
-            entry.state = CoherenceState.INVALID
-            self.stats.add("snoop_invalidations")
-        elif op is BusOp.WRITEBACK:
-            # Another agent wrote the block back to its home; our copy (if
-            # any) stays valid only if it was a clean shared copy.
-            if entry.state.is_dirty():
-                # Cannot happen in a correct MOESI protocol: two dirty owners.
-                raise CacheError(
-                    f"{self.name}: snooped writeback of a block we own dirty "
-                    f"({txn.describe()})"
-                )
+        action = self._snoop_table.get((entry.state, op))
+        if action is None:
+            self._notify_listener(txn)
+            return None
+        next_state, response, forbidden, writes_back = action
+        if forbidden is not None:
+            raise CacheError(f"{self.name}: {forbidden} ({txn.describe()})")
+        counts = self._counts
+        if next_state is not entry.state:
+            entry.state = next_state
+            counts["state_transitions"] += 1
+            counts["snoop_transitions"] += 1
+            if next_state is CoherenceState.INVALID:
+                counts["snoop_invalidations"] += 1
+        if writes_back:
+            counts["snoop_writebacks"] += 1
         self._notify_listener(txn)
         return response
 
@@ -368,7 +510,10 @@ class CoherentCache:
         return hits / total if total else 0.0
 
     def __repr__(self) -> str:
-        return f"<CoherentCache {self.name} {self.num_sets} blocks on {self.bus_kind}>"
+        return (
+            f"<CoherentCache {self.name} {self.num_sets} blocks "
+            f"({self.protocol.name}) on {self.bus_kind}>"
+        )
 
 
 class MainMemory:

@@ -1,0 +1,510 @@
+"""Exhaustive safety checker for coherence-protocol rule tables.
+
+For one cache block, the global coherence state of an N-cache machine is
+"how many caches hold the block in each state, and is memory's copy
+current".  This module explores that space *exhaustively* for a
+:class:`~repro.coherence.protocols.ProtocolSpec` under a counter
+abstraction and proves (or refutes, with a counterexample trace) that the
+table's ``Unsafe`` predicates and a set of built-in data-integrity
+invariants are unreachable.
+
+Abstraction
+-----------
+
+* A configuration is a vector of per-state cache counts plus one
+  ``memory_stale`` bit ("some cache holds data newer than memory's").
+  Invalid caches form an unbounded pool, so the proof covers machines of
+  *every* size, not one N.
+* Counts saturate at a bound (2 by default, raised automatically to the
+  largest threshold any ``Unsafe`` predicate mentions): a saturated count
+  means "that many or more".  Removing a cache from a saturated count
+  branches to both possible abstract values, which makes the abstraction a
+  sound over-approximation — if the checker proves a predicate
+  unreachable, no concrete execution of any size can reach it.
+* One transition is one *atomic* protocol event: a read/write miss, an
+  ownership upgrade, a full-block-write upgrade, a silent store hit, an
+  eviction (with writeback when dirty), or a data snarf.  Every holder's
+  reaction comes from the table's snoop rules, exactly the rules
+  :class:`~repro.coherence.cache.CoherentCache` executes — the guard-
+  validated bus transactions of :mod:`repro.coherence.bus` make the
+  concrete decide-arbitrate-react sequence atomic too, so the abstraction
+  matches the implementation's granularity.
+
+Built-in invariants (checked for every table, on top of ``spec.unsafe``):
+
+* no reachable transaction triggers a rule marked ``forbidden``,
+* memory never supplies data while its copy is stale (dirty-data loss:
+  some cache wrote, nobody supplied or reflected, and a later miss reads
+  the stale memory copy),
+* a silent store hit never lands in a state the protocol does not track
+  as dirty (the write would be invisible to everyone).
+
+Directory tables are checked with the same broadcast semantics: the
+directory only *filters* which agents are consulted, and every agent whose
+state a transaction would change is by construction a recorded holder, so
+the reachable per-block state space is identical.
+
+CLI::
+
+    python -m repro.coherence.modelcheck moesi          # one table
+    python -m repro.coherence.modelcheck --all          # every registered
+    python -m repro.coherence.modelcheck --self-test    # prove the checker
+                                                        # rejects broken tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.coherence.protocols import (
+    ProtocolError,
+    ProtocolSpec,
+    available_protocols,
+    protocol_spec,
+)
+from repro.common.types import BusOp, CoherenceState
+
+#: Default saturation bound for per-state counts ("2" = {0, 1, >=2}).
+DEFAULT_CAP = 2
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One refuted safety property, with a counterexample trace."""
+
+    name: str
+    #: Event labels from the all-invalid initial configuration.
+    trace: Tuple[str, ...]
+
+    def describe(self) -> str:
+        steps = "\n".join(f"    {i + 1}. {step}" for i, step in enumerate(self.trace))
+        return f"{self.name}:\n{steps}" if self.trace else self.name
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of exhaustively checking one protocol table."""
+
+    protocol: str
+    ok: bool
+    configs_explored: int
+    cap: int
+    violations: Tuple[Violation, ...] = ()
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"{self.protocol}: SAFE — {self.configs_explored} reachable "
+                f"configurations, counts saturated at {self.cap}"
+            )
+        lines = [
+            f"{self.protocol}: UNSAFE — {len(self.violations)} "
+            f"violated propert{'y' if len(self.violations) == 1 else 'ies'} "
+            f"({self.configs_explored} configurations explored)"
+        ]
+        for violation in self.violations:
+            lines.append("  " + violation.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+class ModelCheckError(RuntimeError):
+    """Raised when the search cannot complete (blow-up guard)."""
+
+
+# A configuration: (per-valid-state counts, memory_stale).
+_Config = Tuple[Tuple[int, ...], bool]
+
+
+class _Checker:
+    def __init__(self, spec: ProtocolSpec, max_configs: int):
+        self.spec = spec
+        self.max_configs = max_configs
+        self.states: Tuple[CoherenceState, ...] = spec.valid_states
+        self.index: Dict[CoherenceState, int] = {s: i for i, s in enumerate(self.states)}
+        self.dirty = frozenset(self.index[s] for s in spec.dirty_states)
+        self.cap = self._pick_cap()
+        self.predicates = [
+            (u.name, compile(u.expr, f"<unsafe:{u.name}>", "eval")) for u in spec.unsafe
+        ]
+        # Snarf target (see CoherentCache.snoop): an invalid frame picks up
+        # READ_SHARED / WRITEBACK data flying by and becomes SHARED.
+        self.snarf_index: Optional[int] = self.index.get(CoherenceState.SHARED)
+        self.violations: List[Violation] = []
+        self._violated: set = set()
+
+    # ------------------------------------------------------------------
+    def _pick_cap(self) -> int:
+        cap = DEFAULT_CAP
+        for predicate in self.spec.unsafe:
+            code = compile(predicate.expr, "<cap-scan>", "eval")
+            for const in code.co_consts:
+                if isinstance(const, int) and not isinstance(const, bool):
+                    cap = max(cap, const)
+        return cap
+
+    def _sat(self, value: int) -> int:
+        return value if value < self.cap else self.cap
+
+    def _dec(self, counts: Tuple[int, ...], idx: int) -> List[Tuple[int, ...]]:
+        """Remove one cache from state ``idx``; a saturated count branches
+        to both abstract successors ("exactly cap-1" and "still >= cap")."""
+        value = counts[idx]
+        out = list(counts)
+        out[idx] = value - 1
+        if value == self.cap:
+            return [tuple(out), counts]
+        return [tuple(out)]
+
+    # ------------------------------------------------------------------
+    # Transition construction
+    # ------------------------------------------------------------------
+    def _react(
+        self, counts: Tuple[int, ...], op: BusOp
+    ) -> Tuple[Tuple[int, ...], bool, bool, bool, Optional[str]]:
+        """Apply every holder's snoop rule for ``op`` simultaneously.
+
+        Returns (new counts, supplies, shared, wrote_back, forbidden_name).
+        """
+        rules = self.spec.snoop_rules
+        moved = list(counts)
+        supplies = shared = wrote_back = False
+        forbidden: Optional[str] = None
+        transfers = []
+        for i, state in enumerate(self.states):
+            if counts[i] == 0:
+                continue
+            rule = rules.get((state, op))
+            if rule is None:
+                continue
+            if rule.forbidden is not None and forbidden is None:
+                forbidden = f"forbidden reaction ({state.value}, {op.value}): {rule.forbidden}"
+            supplies = supplies or rule.supplies_data
+            shared = shared or rule.shared
+            if rule.writes_back and i in self.dirty:
+                wrote_back = True
+            if rule.next_state is not state:
+                # INVALID holders rejoin the unbounded pool (no index).
+                transfers.append((i, self.index.get(rule.next_state), counts[i]))
+        for src, dst, amount in transfers:
+            moved[src] -= amount
+            if dst is not None:
+                moved[dst] = self._sat(moved[dst] + amount)
+        return tuple(moved), supplies, shared, wrote_back, forbidden
+
+    def _fill_state(self, rules, memory_supplied: bool, shared: bool) -> CoherenceState:
+        for condition, state in rules:
+            if condition == "always":
+                return state
+            if condition == "memory_unshared" and memory_supplied and not shared:
+                return state
+            if condition == "unshared" and not shared:
+                return state
+        raise ProtocolError(f"{self.spec.name}: fill rules exhausted")  # validated away
+
+    def _transactions(self, config: _Config):
+        """Successor (label, config, violation) triples for one configuration.
+
+        ``violation`` names a data-integrity invariant the transition itself
+        breaks (forbidden reaction, stale read); the successor is still
+        produced so its trace can be reported.
+        """
+        counts, stale = config
+        spec = self.spec
+        out = []
+
+        def txn(label, base_counts, op, fill_rules, write_intent, requester_label):
+            reacted, supplies, shared, wrote_back, forbidden = self._react(base_counts, op)
+            violation = forbidden
+            memory_supplied = not supplies
+            data_fetch = op is BusOp.READ_SHARED or op is BusOp.READ_EXCLUSIVE
+            if violation is None and data_fetch and memory_supplied and stale:
+                violation = "stale data served from memory"
+            source = "memory" if memory_supplied else "a cache"
+
+            def emit(shared_now, suffix, extra_snarf):
+                fill = self._fill_state(fill_rules, memory_supplied, shared_now)
+                fill_idx = self.index[fill]
+                filled = list(reacted)
+                filled[fill_idx] = self._sat(filled[fill_idx] + 1)
+                if extra_snarf:
+                    filled[self.snarf_index] = self._sat(filled[self.snarf_index] + 1)
+                new_stale = stale and not wrote_back
+                if write_intent and fill_idx in self.dirty:
+                    new_stale = True
+                full_label = (
+                    f"{label}: {requester_label} -> {fill.value}"
+                    f" ({op.value}, data from {source}"
+                    f"{', shared' if shared_now else ''}"
+                    f"{', reflected to memory' if wrote_back else ''}{suffix})"
+                )
+                out.append((full_label, (tuple(filled), new_stale), violation))
+
+            emit(shared, "", False)
+            # Data snarfing: an invalid frame with a matching stale tag may
+            # also pick the block up during this transaction.  The snarfer
+            # answers SnoopResponse(shared=True), so the requester sees the
+            # line shared and its fill condition changes accordingly.
+            if (
+                self.snarf_index is not None
+                and op in (BusOp.READ_SHARED, BusOp.WRITEBACK)
+            ):
+                emit(True, ", snarfed into S", True)
+
+        # 1/2/3: misses and full-block writes by a cache from the invalid pool.
+        txn("read miss", counts, BusOp.READ_SHARED, spec.read_fill, False, "I")
+        txn("write miss", counts, spec.write_miss_op, spec.write_miss_fill, True, "I")
+        txn("full-block write", counts, BusOp.UPGRADE, spec.write_upgrade_fill, True, "I")
+
+        for i, state in enumerate(self.states):
+            if counts[i] == 0:
+                continue
+            # 4: ownership upgrade by a holder whose state cannot absorb the
+            # store silently (both the write_block and write_block_full paths).
+            if state not in spec.writable_states:
+                for base in self._dec(counts, i):
+                    txn(
+                        f"upgrade from {state.value}", base, BusOp.UPGRADE,
+                        spec.write_upgrade_fill, True, state.value,
+                    )
+            # 5: silent store hit.
+            next_state = spec.write_hit_next.get(state)
+            if state in spec.writable_states and next_state is not None:
+                violation = None
+                if self.index[next_state] not in self.dirty:
+                    violation = (
+                        f"silent write in {state.value} lands in non-dirty "
+                        f"{next_state.value} (write invisible to memory)"
+                    )
+                moved = list(counts)
+                moved[i] -= 1
+                if counts[i] == self.cap:
+                    bases = [tuple(moved), counts]
+                else:
+                    bases = [tuple(moved)]
+                ni = self.index[next_state]
+                for base in bases:
+                    filled = list(base)
+                    filled[ni] = self._sat(filled[ni] + 1)
+                    out.append(
+                        (
+                            f"silent write {state.value} -> {next_state.value}",
+                            (tuple(filled), True),
+                            violation,
+                        )
+                    )
+            # 6: eviction / explicit flush.
+            if i in self.dirty:
+                for base in self._dec(counts, i):
+                    reacted, _supplies, _shared, _wb, forbidden = self._react(
+                        base, BusOp.WRITEBACK
+                    )
+                    snarf_targets = [(reacted, "")]
+                    if self.snarf_index is not None:
+                        snarfed = list(reacted)
+                        snarfed[self.snarf_index] = self._sat(
+                            snarfed[self.snarf_index] + 1
+                        )
+                        snarf_targets.append((tuple(snarfed), " + snarf into S"))
+                    for new_counts, suffix in snarf_targets:
+                        out.append(
+                            (
+                                f"evict dirty {state.value} (writeback){suffix}",
+                                (new_counts, False),
+                                forbidden,
+                            )
+                        )
+            else:
+                for base in self._dec(counts, i):
+                    out.append((f"evict clean {state.value} (silent)", (base, stale), None))
+        return out
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def run(self) -> CheckResult:
+        initial: _Config = (tuple(0 for _ in self.states), False)
+        # config -> (parent config, event label); initial maps to None.
+        visited: Dict[_Config, Optional[Tuple[_Config, str]]] = {initial: None}
+        frontier = deque([initial])
+        explored = 0
+        while frontier:
+            config = frontier.popleft()
+            explored += 1
+            if explored > self.max_configs:
+                raise ModelCheckError(
+                    f"{self.spec.name}: exceeded {self.max_configs} configurations"
+                )
+            self._check_predicates(config, visited)
+            for label, successor, violation in self._transactions(config):
+                fresh = successor not in visited
+                if fresh:
+                    visited[successor] = (config, label)
+                    frontier.append(successor)
+                if violation is not None:
+                    self._record(violation, self._trace(config, visited) + (label,))
+                    continue
+        return CheckResult(
+            protocol=self.spec.name,
+            ok=not self.violations,
+            configs_explored=explored,
+            cap=self.cap,
+            violations=tuple(self.violations),
+        )
+
+    def _check_predicates(self, config: _Config, visited) -> None:
+        counts, _stale = config
+        bindings = {state.value: counts[i] for i, state in enumerate(self.states)}
+        env = {"__builtins__": {}}
+        for name, code in self.predicates:
+            if name in self._violated:
+                continue
+            if eval(code, env, bindings):  # noqa: S307 - validated state letters only
+                self._record(name, self._trace(config, visited))
+
+    def _record(self, name: str, trace: Tuple[str, ...]) -> None:
+        if name in self._violated:
+            return
+        self._violated.add(name)
+        self.violations.append(Violation(name=name, trace=trace))
+
+    @staticmethod
+    def _trace(config: _Config, visited) -> Tuple[str, ...]:
+        steps: List[str] = []
+        cursor = config
+        while True:
+            parent = visited[cursor]
+            if parent is None:
+                break
+            cursor, label = parent
+            steps.append(label)
+        return tuple(reversed(steps))
+
+
+def check_protocol(
+    protocol: Union[str, ProtocolSpec], max_configs: int = 500_000
+) -> CheckResult:
+    """Exhaustively check one protocol table; see the module docstring."""
+    spec = protocol if isinstance(protocol, ProtocolSpec) else protocol_spec(protocol)
+    spec.validate()
+    return _Checker(spec, max_configs).run()
+
+
+def check_all(max_configs: int = 500_000) -> List[CheckResult]:
+    """Check every registered protocol (built-ins and plugins)."""
+    return [check_protocol(spec, max_configs) for spec in available_protocols()]
+
+
+# ----------------------------------------------------------------------
+# Self-test: deliberately broken tables the checker must reject
+# ----------------------------------------------------------------------
+def _broken_tables():
+    """(description, spec, expected-substring) triples for --self-test.
+
+    Each is the MSI table with one deliberate bug; the checker must refute
+    each one (and name the right property), or the checker itself is broken.
+    """
+    from dataclasses import replace
+
+    msi = protocol_spec("msi")
+    S, M = CoherenceState.SHARED, CoherenceState.MODIFIED
+    RS, RE, UP = BusOp.READ_SHARED, BusOp.READ_EXCLUSIVE, BusOp.UPGRADE
+
+    def with_rules(**changes):
+        rules = dict(msi.snoop_rules)
+        for (state, op), rule in changes.pop("snoop_rules").items():
+            if rule is None:
+                rules.pop((state, op))
+            else:
+                rules[(state, op)] = rule
+        return replace(msi, name=changes.pop("name"), snoop_rules=rules, **changes)
+
+    from repro.coherence.protocols import SnoopRule
+
+    return [
+        (
+            "writer does not invalidate sharers",
+            with_rules(name="msi-broken-no-invalidate",
+                       snoop_rules={(S, RE): None, (S, UP): None}),
+            "modified beside shared copies",
+        ),
+        (
+            "snooped read of M neither supplies nor reflects",
+            with_rules(name="msi-broken-silent-downgrade",
+                       snoop_rules={(M, RS): SnoopRule(S)}),
+            "stale data served from memory",
+        ),
+        (
+            "second writer leaves the first one modified",
+            with_rules(name="msi-broken-two-writers",
+                       snoop_rules={(M, RE): SnoopRule(M, supplies_data=True)}),
+            "two modified owners",
+        ),
+    ]
+
+
+def _run_self_test(max_configs: int, verbose: bool) -> int:
+    failures = 0
+    for description, spec, expected in _broken_tables():
+        result = check_protocol(spec, max_configs)
+        names = [v.name for v in result.violations]
+        caught = any(expected in name for name in names)
+        status = "rejected" if caught else "MISSED"
+        print(f"  {spec.name} ({description}): {status}")
+        if verbose and result.violations:
+            for violation in result.violations:
+                print("    " + violation.describe().replace("\n", "\n    "))
+        if not caught:
+            failures += 1
+            print(f"    expected a violation matching {expected!r}, got {names}")
+    if failures:
+        print(f"self-test FAILED: {failures} broken table(s) not rejected")
+        return 1
+    print("self-test passed: every broken table rejected")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.coherence.modelcheck",
+        description="Exhaustive reachability safety checker for coherence "
+                    "protocol rule tables.",
+    )
+    parser.add_argument("protocols", nargs="*", help="protocol names to check")
+    parser.add_argument("--all", action="store_true", help="check every registered table")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker rejects deliberately broken tables")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print counterexample traces and per-table detail")
+    parser.add_argument("--max-configs", type=int, default=500_000,
+                        help="abort if the search exceeds this many configurations")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _run_self_test(args.max_configs, args.verbose)
+    if args.all:
+        names = [spec.name for spec in available_protocols()]
+    else:
+        names = args.protocols
+    if not names:
+        parser.error("give protocol names, --all or --self-test")
+
+    failures = 0
+    for name in names:
+        try:
+            result = check_protocol(name, args.max_configs)
+        except ProtocolError as exc:
+            print(f"{name}: ERROR — {exc}")
+            failures += 1
+            continue
+        print(result.describe())
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

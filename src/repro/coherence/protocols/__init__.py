@@ -1,0 +1,41 @@
+"""Pluggable coherence-protocol kit: declarative rule tables + registry.
+
+``CoherentCache`` drives every state transition from the active
+:class:`ProtocolSpec` (selected by ``MachineParams.protocol``), and
+:mod:`repro.coherence.modelcheck` exhaustively verifies the same tables'
+safety invariants.  See the README's "Coherence protocols" section for the
+rule-table grammar and the plugin how-to.
+"""
+
+from repro.coherence.protocols.registry import (
+    PROTOCOL_SCHEMA_VERSION,
+    available_protocols,
+    is_builtin,
+    protocol_spec,
+    register_protocol,
+    unregister_protocol,
+)
+from repro.coherence.protocols.spec import (
+    FILL_CONDITIONS,
+    ProtocolError,
+    ProtocolSpec,
+    SnoopRule,
+    Unsafe,
+)
+
+# Importing the tables module registers the built-in protocols.
+from repro.coherence.protocols import tables as _tables  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "PROTOCOL_SCHEMA_VERSION",
+    "FILL_CONDITIONS",
+    "ProtocolError",
+    "ProtocolSpec",
+    "SnoopRule",
+    "Unsafe",
+    "available_protocols",
+    "is_builtin",
+    "protocol_spec",
+    "register_protocol",
+    "unregister_protocol",
+]

@@ -1,0 +1,240 @@
+"""Declarative rule tables for bus-based cache-coherence protocols.
+
+A :class:`ProtocolSpec` captures everything :class:`~repro.coherence.cache.
+CoherentCache` needs to drive its state machine — and everything
+:mod:`repro.coherence.modelcheck` needs to *prove* the table safe — in one
+table-shaped value:
+
+* which :class:`~repro.common.types.CoherenceState` members the protocol
+  uses, and which of them are *dirty* (must be written back on eviction)
+  and *writable* (a processor store hits silently, without bus traffic),
+* how a requester fills a block after each kind of bus transaction
+  (ordered ``(condition, state)`` rules; the first matching condition
+  wins — ``"memory_unshared"``, ``"unshared"`` or ``"always"``),
+* how every ``(state, bus op)`` pair reacts to a snooped transaction
+  (:class:`SnoopRule`: next state, data supply, shared assertion,
+  memory reflection, or a protocol violation),
+* the ``Unsafe`` predicates the model checker must prove unreachable,
+  written as expressions over per-state cache counts (``"M >= 2"``).
+
+The same table drives both the timing simulation and the reachability
+checker, so "the protocol the checker verified" and "the protocol the
+caches run" cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.common.types import BusOp, CoherenceState
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed or unknown protocol tables."""
+
+
+#: Fill conditions a requester may test after its bus transaction, in the
+#: vocabulary the model checker can also evaluate abstractly.
+#:
+#: ``"memory_unshared"``  data came from memory and no snooper asserted
+#:                        shared (MOESI/MESI exclusive fill),
+#: ``"unshared"``         no snooper asserted shared, regardless of the
+#:                        data source (Illinois exclusive fill),
+#: ``"always"``           unconditional (must terminate every fill list).
+FILL_CONDITIONS = ("memory_unshared", "unshared", "always")
+
+#: An ordered tuple of ``(condition, next_state)`` fill rules.
+FillRules = Tuple[Tuple[str, CoherenceState], ...]
+
+
+@dataclass(frozen=True)
+class SnoopRule:
+    """Reaction of one cached state to one snooped bus operation.
+
+    ``forbidden`` marks a ``(state, op)`` pair that a correct protocol can
+    never observe (e.g. a writeback snooped while we hold the block dirty:
+    two dirty owners).  The cache raises
+    :class:`~repro.coherence.cache.CacheError` if it fires; the model
+    checker reports any reachable forbidden rule as a safety violation.
+    """
+
+    next_state: CoherenceState
+    supplies_data: bool = False
+    shared: bool = False
+    #: The snooped transaction reflects our dirty data back to memory as a
+    #: side effect (MESI/MSI M->S downgrades).  Timing-neutral; used by the
+    #: dirty-data-loss tracking of the model checker and for statistics.
+    writes_back: bool = False
+    forbidden: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unsafe:
+    """A named safety predicate over per-state cache counts.
+
+    ``expr`` is a python expression over the one-letter state names
+    (``M``, ``O``, ``E``, ``S``) bound to the number of caches holding the
+    block in that state, e.g. ``"M >= 2"`` or ``"M >= 1 and S + O >= 1"``.
+    Keep thresholds at 2 or below and comparisons monotone (``>=``): the
+    checker's counter abstraction tracks exact counts only up to its
+    saturation bound.
+    """
+
+    name: str
+    expr: str
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One coherence protocol as a declarative rule table."""
+
+    name: str
+    description: str = ""
+    #: States the protocol uses (must include INVALID).
+    states: Tuple[CoherenceState, ...] = (
+        CoherenceState.INVALID,
+        CoherenceState.SHARED,
+        CoherenceState.MODIFIED,
+    )
+    #: States that hold data newer than the block's home.
+    dirty_states: FrozenSet[CoherenceState] = frozenset({CoherenceState.MODIFIED})
+    #: States a store hits silently (no bus transaction).
+    writable_states: FrozenSet[CoherenceState] = frozenset({CoherenceState.MODIFIED})
+    #: Requester fill after a READ_SHARED miss.
+    read_fill: FillRules = (("always", CoherenceState.SHARED),)
+    #: Silent store-hit transitions, keyed by current state.  Must cover at
+    #: least every writable state (e.g. MESI's silent E->M).
+    write_hit_next: Dict[CoherenceState, CoherenceState] = field(
+        default_factory=lambda: {CoherenceState.MODIFIED: CoherenceState.MODIFIED}
+    )
+    #: Requester fill after an UPGRADE from a valid (non-writable) state,
+    #: and after the full-block-write UPGRADE from INVALID.
+    write_upgrade_fill: FillRules = (("always", CoherenceState.MODIFIED),)
+    #: Requester fill after a write miss.
+    write_miss_fill: FillRules = (("always", CoherenceState.MODIFIED),)
+    #: Bus operation a write miss issues.
+    write_miss_op: BusOp = BusOp.READ_EXCLUSIVE
+    #: Reactions to snooped transactions; missing ``(state, op)`` pairs
+    #: leave the state unchanged and answer nothing.
+    snoop_rules: Dict[Tuple[CoherenceState, BusOp], SnoopRule] = field(default_factory=dict)
+    #: Home-node directory protocol: the interconnect consults only the
+    #: block's recorded owner/sharers instead of broadcasting the snoop.
+    directory: bool = False
+    #: Protocol-specific safety predicates, on top of the checker's
+    #: built-in writer-exclusivity and dirty-data-loss invariants.
+    unsafe: Tuple[Unsafe, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "ProtocolSpec":
+        """Structural validation; raises :class:`ProtocolError`."""
+        if not self.name:
+            raise ProtocolError("protocol needs a non-empty name")
+        states = set(self.states)
+        if CoherenceState.INVALID not in states:
+            raise ProtocolError(f"{self.name}: states must include INVALID")
+        if len(states) < 2:
+            raise ProtocolError(f"{self.name}: needs at least one valid state")
+        for label, subset in (
+            ("dirty_states", self.dirty_states),
+            ("writable_states", self.writable_states),
+        ):
+            extra = set(subset) - states
+            if extra:
+                raise ProtocolError(f"{self.name}: {label} {sorted(s.value for s in extra)} "
+                                    f"not in states")
+            if CoherenceState.INVALID in subset:
+                raise ProtocolError(f"{self.name}: INVALID cannot be in {label}")
+        missing = set(self.writable_states) - set(self.write_hit_next)
+        if missing:
+            raise ProtocolError(
+                f"{self.name}: writable states {sorted(s.value for s in missing)} "
+                f"lack a write_hit_next entry"
+            )
+        for label, rules in (
+            ("read_fill", self.read_fill),
+            ("write_upgrade_fill", self.write_upgrade_fill),
+            ("write_miss_fill", self.write_miss_fill),
+        ):
+            self._check_fill(label, rules, states)
+        for (state, op), rule in self.snoop_rules.items():
+            if state not in states or state is CoherenceState.INVALID:
+                raise ProtocolError(f"{self.name}: snoop rule on invalid state {state!r}")
+            if not isinstance(op, BusOp):
+                raise ProtocolError(f"{self.name}: snoop rule keyed by non-BusOp {op!r}")
+            if rule.next_state not in states:
+                raise ProtocolError(
+                    f"{self.name}: snoop rule ({state.value}, {op.value}) -> "
+                    f"{rule.next_state!r} leaves the state set"
+                )
+        for state, nxt in self.write_hit_next.items():
+            if state not in states or nxt not in states:
+                raise ProtocolError(f"{self.name}: write_hit_next {state!r}->{nxt!r} "
+                                    f"leaves the state set")
+        if self.directory:
+            # The directory infers the requester's membership from the bus
+            # op alone (fills happen after the transaction completes), so
+            # directory tables must fill deterministically: S on reads,
+            # M on writes — i.e. MSI-shaped.
+            for label, rules, want in (
+                ("read_fill", self.read_fill, CoherenceState.SHARED),
+                ("write_upgrade_fill", self.write_upgrade_fill, CoherenceState.MODIFIED),
+                ("write_miss_fill", self.write_miss_fill, CoherenceState.MODIFIED),
+            ):
+                if rules != (("always", want),):
+                    raise ProtocolError(
+                        f"{self.name}: directory protocols need unconditional "
+                        f"{label}=(('always', {want.value!r}),); got {rules!r}"
+                    )
+        for predicate in self.unsafe:
+            self._compile_unsafe(predicate)
+        return self
+
+    def _check_fill(self, label: str, rules: FillRules, states) -> None:
+        if not rules:
+            raise ProtocolError(f"{self.name}: {label} must have at least one rule")
+        for condition, state in rules:
+            if condition not in FILL_CONDITIONS:
+                raise ProtocolError(
+                    f"{self.name}: {label} condition {condition!r} not one of "
+                    f"{FILL_CONDITIONS}"
+                )
+            if state not in states or state is CoherenceState.INVALID:
+                raise ProtocolError(f"{self.name}: {label} fills illegal state {state!r}")
+        if rules[-1][0] != "always":
+            raise ProtocolError(f"{self.name}: {label} must end with an 'always' rule")
+
+    def _compile_unsafe(self, predicate: Unsafe):
+        """Compile one Unsafe expression; raises ProtocolError if malformed."""
+        try:
+            code = compile(predicate.expr, f"<unsafe:{predicate.name}>", "eval")
+        except SyntaxError as exc:
+            raise ProtocolError(
+                f"{self.name}: unsafe predicate {predicate.name!r} does not "
+                f"parse: {exc}"
+            ) from exc
+        letters = {state.value for state in self.states if state is not CoherenceState.INVALID}
+        unknown = set(code.co_names) - letters
+        if unknown:
+            raise ProtocolError(
+                f"{self.name}: unsafe predicate {predicate.name!r} references "
+                f"{sorted(unknown)}; only state letters {sorted(letters)} are bound"
+            )
+        return code
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def valid_states(self) -> Tuple[CoherenceState, ...]:
+        return tuple(s for s in self.states if s is not CoherenceState.INVALID)
+
+    def describe(self) -> str:
+        kind = "directory" if self.directory else "snooping"
+        letters = "".join(s.value for s in self.states)
+        return f"{self.name}: {letters} ({kind}) — {self.description}"
+
+    def __repr__(self) -> str:
+        return f"<ProtocolSpec {self.name} states={''.join(s.value for s in self.states)}>"

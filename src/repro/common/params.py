@@ -62,6 +62,17 @@ class MachineParams:
     fabric: str = "ideal"
     #: Router + wire latency per grid hop (mesh/torus), processor cycles.
     fabric_hop_cycles: int = 8
+
+    # Coherence protocol (rule tables in :mod:`repro.coherence.protocols`).
+    # ``"moesi"`` is the paper's five-state snooping protocol; the kit also
+    # ships ``"mesi"``, ``"msi"``, ``"illinois"`` and the home-node
+    # directory variant ``"dir-msi"``.  Plugins register additional tables
+    # with :func:`repro.coherence.protocols.register_protocol`.
+    protocol: str = "moesi"
+    #: Directory lookup latency added to each coherent transaction's bus
+    #: occupancy under a directory protocol (the home consults its
+    #: owner/sharer state before the data phase).
+    directory_lookup_cycles: int = 8
     #: Link/port bandwidth used for serialization by the topology-aware
     #: fabrics (a 256+12-byte message at 8 B/cycle streams for 34 cycles).
     fabric_link_bytes_per_cycle: int = 8
@@ -197,6 +208,19 @@ class MachineParams:
             raise ParameterError("fabric_hop_cycles must be >= 1")
         if self.fabric_link_bytes_per_cycle < 1:
             raise ParameterError("fabric_link_bytes_per_cycle must be >= 1")
+        if self.directory_lookup_cycles < 0:
+            raise ParameterError("directory_lookup_cycles must be >= 0")
+        if self.protocol != "moesi":
+            # Lazy import, same reasoning as the fabric check below: the
+            # default never pulls in the protocol kit at module import.
+            from repro.coherence.protocols import protocol_spec
+
+            spec = protocol_spec(self.protocol)
+            if spec.directory and self.data_snarfing:
+                raise ParameterError(
+                    "data snarfing needs broadcast snoops; directory protocol "
+                    f"{self.protocol!r} filters them (disable data_snarfing)"
+                )
         if self.fabric != "ideal":
             # Lazy import: the default short-circuits, so importing this
             # module (which validates DEFAULT_PARAMS) never pulls in the

@@ -9,14 +9,16 @@ Usage::
     python -m repro.experiments.run occupancy [--quick]
     python -m repro.experiments.run scalability [--quick] [--jobs 4]
     python -m repro.experiments.run netsense [--quick] [--jobs 4]
+    python -m repro.experiments.run protocols [--quick] [--jobs 4]
     python -m repro.experiments.run all [--quick] [--json results.json]
 
-``all`` regenerates the paper artifacts (tables + figures).  The two
+``all`` regenerates the paper artifacts (tables + figures).  The
 beyond-the-paper sweeps are separate commands: ``scalability`` re-runs the
-fig8 macro trio from 4 to 64 nodes on the ideal and mesh fabrics, and
-``netsense`` sweeps latency x topology x device family (both powered by
-the :mod:`repro.api` presets; the nightly CI pipeline drives them with
-``--json`` to archive the structured results).
+fig8 macro trio from 4 to 64 nodes on the ideal and mesh fabrics,
+``netsense`` sweeps latency x topology x device family, and ``protocols``
+re-runs the macro trio under every shipped coherence rule table (all
+powered by the :mod:`repro.api` presets; the nightly CI pipeline drives
+them with ``--json`` to archive the structured results).
 
 Every experiment goes through :mod:`repro.api`: ``--jobs N`` fans the sweep
 out over N worker processes, ``--cache-dir`` (default ``.repro-cache``)
@@ -38,6 +40,7 @@ from repro.api import (
     SweepRunner,
     network_sensitivity_sweep,
     paper_tables,
+    protocol_sweep,
     scalability_sweep,
     speedups,
 )
@@ -150,6 +153,32 @@ def run_netsense(quick: bool, runner: SweepRunner) -> None:
     _print(report.format_table(rows, "Network sensitivity: completion cycles by latency x topology x device"))
 
 
+def run_protocols(quick: bool, runner: SweepRunner) -> None:
+    """Coherence-protocol axis: the macro trio per registered rule table."""
+    if quick:
+        sweep = protocol_sweep(workloads=("gauss",), num_nodes=8, scale=0.25)
+    else:
+        sweep = protocol_sweep()
+    results = runner.run(sweep)
+    rows = []
+    for protocol in sorted({r.spec.params.get("protocol", "moesi") for r in results}):
+        subset = results.filter(
+            lambda r, p=protocol: r.spec.params.get("protocol") == p
+        )
+        for workload in sorted({r.spec.workload for r in subset}):
+            for result in subset.filter(workload=workload):
+                rows.append(
+                    {
+                        "protocol": protocol,
+                        "workload": workload,
+                        "config": result.spec.config,
+                        "cycles": f"{result.metrics['cycles']:,.0f}",
+                        "membus occ": f"{result.metrics['memory_bus_occupancy']:,.0f}",
+                    }
+                )
+    _print(report.format_table(rows, "Coherence protocols: macro completion cycles per rule table"))
+
+
 def _progress(completed: int, total: int, result) -> None:
     sys.stderr.write(f"\r  [{completed}/{total}] {result.spec.describe():<60}")
     if completed == total:
@@ -161,7 +190,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
         "experiment",
-        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "scalability", "netsense", "all"],
+        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "scalability", "netsense", "protocols", "all"],
         help="which experiment to regenerate",
     )
     parser.add_argument("--quick", action="store_true", help="smaller, faster sweep")
@@ -202,6 +231,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_scalability(args.quick, runner)
     if args.experiment == "netsense":
         run_netsense(args.quick, runner)
+    if args.experiment == "protocols":
+        run_protocols(args.quick, runner)
     elapsed = time.time() - start
 
     if args.json:

@@ -158,6 +158,11 @@ class Machine:
         if profile:
             self.last_profile = self.sim.run_profile(until=max_cycles)
             end_time = int(self.last_profile["end_time"])
+            # Fold the protocol activity of the run into the profile so
+            # kernel-throughput consumers see coherence work alongside it.
+            for key, value in self.coherence_stats().items():
+                if key != "protocol":
+                    self.last_profile[key] = value
         else:
             end_time = self.sim.run(until=max_cycles)
         unfinished = [p.name for p in processes if not p.finished]
@@ -209,6 +214,53 @@ class Machine:
     def network_stats(self) -> Dict[str, int]:
         return self.fabric.stats.as_dict()
 
+    def coherence_stats(self) -> Dict[str, Union[str, int]]:
+        """Machine-wide coherence-protocol activity totals.
+
+        Sums the protocol counters of every coherent cache on every node
+        (processor caches and NI device caches alike):
+
+        * ``protocol_transitions`` — all state transitions (fills, silent
+          hit promotions, snoop reactions, invalidations),
+        * ``protocol_snoop_transitions`` / ``protocol_invalidations`` —
+          transitions forced by snooped remote transactions, and the subset
+          that dropped the block,
+        * ``protocol_writebacks`` — dirty data reflected home (evictions,
+          explicit flushes and snooped-read reflections),
+        * ``protocol_races`` — guarded bus transactions aborted because a
+          concurrent transaction invalidated their premise while they
+          waited for the bus.
+        """
+        from repro.coherence.cache import CoherentCache
+
+        transitions = snoops = invalidations = writebacks = races = 0
+        for node in self.nodes:
+            for agent in node.interconnect.agents:
+                if not isinstance(agent, CoherentCache):
+                    continue
+                raw = agent.stats.raw
+                transitions += raw.get("state_transitions", 0)
+                snoops += raw.get("snoop_transitions", 0)
+                invalidations += raw.get("snoop_invalidations", 0)
+                writebacks += (
+                    raw.get("writebacks", 0)
+                    + raw.get("explicit_flushes", 0)
+                    + raw.get("snoop_writebacks", 0)
+                )
+                races += (
+                    raw.get("upgrade_races", 0)
+                    + raw.get("writeback_races", 0)
+                    + raw.get("flush_races", 0)
+                )
+        return {
+            "protocol": self.params.protocol,
+            "protocol_transitions": transitions,
+            "protocol_snoop_transitions": snoops,
+            "protocol_invalidations": invalidations,
+            "protocol_writebacks": writebacks,
+            "protocol_races": races,
+        }
+
     def spin_elision_stats(self) -> Dict[str, int]:
         """Machine-wide spin-wait elision totals (kernel + per-device).
 
@@ -230,9 +282,12 @@ class Machine:
         ni_names = {node.config.ni_name for node in self.nodes}
         buses = {node.config.ni_bus.value for node in self.nodes}
         fabric = "" if self.params.fabric == "ideal" else f", fabric={self.params.fabric}"
+        protocol = (
+            "" if self.params.protocol == "moesi" else f", protocol={self.params.protocol}"
+        )
         return (
             f"Machine: {len(self.nodes)} nodes, NI={'/'.join(sorted(ni_names))}, "
-            f"bus={'/'.join(sorted(buses))}{fabric}"
+            f"bus={'/'.join(sorted(buses))}{fabric}{protocol}"
         )
 
     def __repr__(self) -> str:
