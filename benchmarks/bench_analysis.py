@@ -1,0 +1,72 @@
+"""Overhead of the partition-analysis kernel vs the plain kernel.
+
+The conflict detector runs every event through the hooked drain
+(`InstrumentedSimulator`) with tracked wrappers on the cross-partition
+structures.  That instrumentation must stay cheap enough to run in CI —
+the budget is 3x the plain kernel on a gauss macro point — and, just as
+important, the *plain* path must be completely unchanged: the hooked drain
+hides behind a single flag test, so golden cycle counts pinned before the
+analyzer existed must still reproduce bit-for-bit through
+``run_spec_machine``.
+"""
+
+import time
+
+from _util import single_run
+from repro.analysis.conflicts import analyze_spec, run_spec_machine
+from repro.api import ExperimentSpec
+
+#: Timing point: big enough to swamp setup, small enough for CI.
+OVERHEAD_SPEC = ExperimentSpec(
+    kind="macro", device="CNI16Q", bus="memory",
+    workload="gauss", num_nodes=8, scale=0.25,
+)
+#: The golden macro point of tests/test_device_golden.py.
+GOLDEN_SPEC = ExperimentSpec(
+    kind="macro", device="CNI16Q", bus="memory",
+    workload="em3d", num_nodes=4, scale=0.25,
+)
+GOLDEN_MACRO_CYCLES = 12378.0
+MAX_OVERHEAD = 3.0
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_plain_path_matches_golden(benchmark):
+    """The analyzer's run helper on the plain kernel reproduces the pinned
+    golden cycle count — the hooked-drain seam costs the plain path nothing
+    but one flag test and changes no behaviour."""
+    _machine, result = single_run(benchmark, run_spec_machine, GOLDEN_SPEC)
+    assert result.cycles == GOLDEN_MACRO_CYCLES
+
+
+def test_instrumented_cycles_match_plain(benchmark):
+    """Instrumentation observes; it must not perturb the physics."""
+    tracker, result = single_run(benchmark, analyze_spec, OVERHEAD_SPEC)
+    _machine, plain = run_spec_machine(OVERHEAD_SPEC)
+    assert result.cycles == plain.cycles
+    assert tracker.to_dict()["mediation_only"] is True
+
+
+def test_instrumented_overhead_bounded(benchmark):
+    """Instrumented / plain wall-clock ratio on the gauss macro point."""
+
+    def measure():
+        plain = _best_of(lambda: run_spec_machine(OVERHEAD_SPEC))
+        instrumented = _best_of(lambda: analyze_spec(OVERHEAD_SPEC))
+        return plain, instrumented
+
+    plain, instrumented = single_run(benchmark, measure)
+    ratio = instrumented / plain
+    print(f"\nanalysis overhead: plain={plain:.3f}s instrumented={instrumented:.3f}s ({ratio:.2f}x)")
+    assert ratio <= MAX_OVERHEAD, (
+        f"instrumented kernel is {ratio:.2f}x the plain kernel "
+        f"(budget {MAX_OVERHEAD}x)"
+    )

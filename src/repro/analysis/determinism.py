@@ -1,0 +1,444 @@
+"""Schedule-perturbation determinism sanitizer.
+
+The kernel breaks same-cycle ties by schedule order (the ``seq`` counter).
+A future PDES merge — and, today, any refactor that reorders scheduling —
+is only safe if the simulated physics never depends on the relative order
+of *independent* same-cycle events.  This pass checks exactly that:
+
+1. run the conflict detector (:mod:`repro.analysis.conflicts`) to learn
+   which partition pairs actually interact within a cycle,
+2. re-run the same :class:`ExperimentSpec` under an
+   :class:`OrderShuffleSimulator` that randomly permutes same-cycle
+   execution order between partitions the detector proved independent,
+   while preserving order inside each partition and across every
+   conflicting pair (a constrained random merge of per-partition queues),
+3. close the constraint set under the reorderings it licenses: each
+   shuffled run is itself conflict-tracked, and a reorder that
+   manufactures a race the canonical schedule never exhibited (e.g. a
+   fabric delivery shifted onto the same cycle as a node's queue poll)
+   extends the constraints and redoes that seed until no new edges
+   appear,
+4. assert the full stats fingerprint — cycle count, bus occupancies,
+   network/coherence/per-node/messaging counters — stays **bit-identical**
+   across seeds.
+
+Spin-wait elision counters (``elided_*``) are excluded from fingerprints:
+elision arming probes untracked wall-progress state, so legal reorderings
+may change how much spinning was elided without changing the physics.
+
+``self_test`` injects a deliberately order-dependent two-process workload
+that the sanitizer must catch, plus an independent workload and a
+constrained run as positive controls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.conflicts import (
+    InstrumentedSimulator,
+    analyze_spec,
+    run_spec_machine,
+)
+from repro.analysis.partitions import EXTERNAL, PartitionResolver, partition_from_name
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def strip_elided(value):
+    """Recursively drop dict keys mentioning spin-wait elision."""
+    if isinstance(value, dict):
+        return {
+            k: strip_elided(v)
+            for k, v in value.items()
+            if not (isinstance(k, str) and "elided" in k)
+        }
+    if isinstance(value, (list, tuple)):
+        return [strip_elided(v) for v in value]
+    return value
+
+
+def machine_fingerprint(machine, result) -> Dict:
+    """Every observable statistic of a finished macro run, elision-free."""
+    return strip_elided(
+        {
+            "cycles": result.cycles,
+            "memory_bus_occupancy": machine.total_memory_bus_occupancy(),
+            "io_bus_occupancy": machine.total_io_bus_occupancy(),
+            "user_messages": result.user_messages,
+            "network_messages": result.network_messages,
+            "network": machine.network_stats(),
+            "coherence": machine.coherence_stats(),
+            "nodes": [node.stats_snapshot() for node in machine.nodes],
+            "messaging": [layer.stats.as_dict() for layer in machine.messaging],
+        }
+    )
+
+
+def fingerprint_digest(fingerprint: Dict) -> str:
+    blob = json.dumps(fingerprint, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def diff_fingerprints(base, other, path: str = "") -> List[str]:
+    """Human-readable paths where two fingerprints disagree."""
+    if isinstance(base, dict) and isinstance(other, dict):
+        out: List[str] = []
+        for key in sorted(set(base) | set(other)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in base:
+                out.append(f"{sub}: missing in baseline")
+            elif key not in other:
+                out.append(f"{sub}: missing in shuffled run")
+            else:
+                out.extend(diff_fingerprints(base[key], other[key], sub))
+        return out
+    if isinstance(base, list) and isinstance(other, list):
+        if len(base) != len(other):
+            return [f"{path}: length {len(base)} != {len(other)}"]
+        out = []
+        for i, (a, b) in enumerate(zip(base, other)):
+            out.extend(diff_fingerprints(a, b, f"{path}[{i}]"))
+        return out
+    if base != other:
+        return [f"{path}: {base!r} != {other!r}"]
+    return []
+
+
+# ----------------------------------------------------------------------
+# The shuffling simulator
+# ----------------------------------------------------------------------
+class OrderShuffleSimulator(Simulator):
+    """Kernel whose same-cycle tie-break is a constrained random merge.
+
+    Events are grouped per partition.  Within a partition, schedule order
+    is always preserved (each group's batch queue is seq-ordered).  Across
+    partitions, the head of group ``P`` is *ready* unless some group ``Q``
+    that is order-constrained against ``P`` has an earlier (smaller-seq)
+    head; a seeded RNG picks uniformly among ready heads.  The smallest-seq
+    head is always ready, so the merge can never deadlock, and with an
+    empty constraint set this is a uniform shuffle of independent events.
+
+    ``constraints`` is an iterable of 2-element collections of partition
+    labels.  The ``external`` partition is implicitly constrained against
+    everything (unattributed callbacks stay in canonical order).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        constraints: Iterable = (),
+        group_fn=None,
+    ) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+        self._constraints = {frozenset(pair) for pair in constraints}
+        self._group_fn = group_fn
+        #: Number of pick_next calls that had a real choice to make.
+        self.shuffle_choices = 0
+        self.enable_hooks()
+
+    def bind_machine(self, machine) -> PartitionResolver:
+        """Use ``machine``'s partition map for event grouping."""
+        resolver = PartitionResolver(machine)
+        self._group_fn = resolver.resolve_callback
+        return resolver
+
+    def event_group(self, event):
+        fn = self._group_fn
+        if fn is not None:
+            return fn(event.callback)
+        owner = getattr(event.callback, "__self__", None)
+        name = getattr(owner, "name", "") if owner is not None else ""
+        return partition_from_name(name) or EXTERNAL if name else EXTERNAL
+
+    def _constrained(self, a: str, b: str) -> bool:
+        if a == EXTERNAL or b == EXTERNAL:
+            return True
+        return frozenset((a, b)) in self._constraints
+
+    def pick_next(self):
+        groups = [(g, dq) for g, dq in self._batch.items() if dq]
+        if len(groups) == 1:
+            return groups[0][1].popleft()
+        groups.sort(key=lambda kv: kv[1][0].seq)
+        ready = []
+        for group, dq in groups:
+            seq = dq[0].seq
+            blocked = False
+            for other, odq in groups:
+                if other is not group and odq[0].seq < seq and self._constrained(
+                    group, other
+                ):
+                    blocked = True
+                    break
+            if not blocked:
+                ready.append(dq)
+        if not ready:  # unreachable: the min-seq head is never blocked
+            return groups[0][1].popleft()
+        if len(ready) == 1:
+            return ready[0].popleft()
+        self.shuffle_choices += 1
+        return self._rng.choice(ready).popleft()
+
+
+class TrackedShuffleSimulator(InstrumentedSimulator):
+    """Constrained-merge shuffle that conflict-tracks its own schedule.
+
+    The constraint set inferred from the canonical schedule is not
+    automatically closed under the reorderings it licenses: shifting one
+    independent event within its cycle changes downstream timing, which
+    can put a fabric delivery and a node's queue poll on the *same* cycle
+    for the first time — a race the canonical run never exhibited, between
+    a pair the detector therefore never constrained.  Running the shuffle
+    with the conflict tracker attached lets the sanitizer verify post-hoc
+    that no reorder it performed was between dependent events, and extend
+    the constraint set and redo the seed when one was
+    (:func:`sanitize_spec`'s fixpoint loop).
+    """
+
+    def __init__(self, seed: int = 0, constraints: Iterable = ()) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+        self._constraints = {frozenset(pair) for pair in constraints}
+        #: Number of pick_next calls that had a real choice to make.
+        self.shuffle_choices = 0
+
+    def event_group(self, event):
+        resolver = self._resolver
+        if resolver is not None:
+            return resolver.resolve_callback(event.callback)
+        return EXTERNAL
+
+    # Same constrained random merge as the untracked shuffler.
+    _constrained = OrderShuffleSimulator._constrained
+    pick_next = OrderShuffleSimulator.pick_next
+
+
+# ----------------------------------------------------------------------
+# Spec-level sanitizer
+# ----------------------------------------------------------------------
+@dataclass
+class ShuffleRun:
+    seed: int
+    identical: bool
+    shuffle_choices: int
+    diffs: List[str] = field(default_factory=list)
+    #: Shuffled runs it took this seed to close the constraint set (1 =
+    #: the first shuffle manufactured no new conflict edges).
+    fixpoint_rounds: int = 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "identical": self.identical,
+            "shuffle_choices": self.shuffle_choices,
+            "diffs": self.diffs,
+            "fixpoint_rounds": self.fixpoint_rounds,
+        }
+
+
+@dataclass
+class DeterminismResult:
+    """Outcome of sanitizing one experiment point."""
+
+    spec_desc: Dict
+    baseline_digest: str
+    constraints: List[List[str]]
+    runs: List[ShuffleRun]
+    conflict_summary: Optional[Dict] = None
+    #: Pairs added by the fixpoint loop — races first manufactured by a
+    #: shuffled schedule, absent from the canonical run's conflict edges.
+    inferred_constraints: List[List[str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.identical for run in self.runs)
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec_desc,
+            "ok": self.ok,
+            "baseline_digest": self.baseline_digest,
+            "constraints": self.constraints,
+            "inferred_constraints": self.inferred_constraints,
+            "runs": [run.to_dict() for run in self.runs],
+            "conflict_summary": self.conflict_summary,
+        }
+
+
+def sanitize_spec(
+    spec,
+    seeds: Tuple[int, ...] = (11, 23, 37),
+    constraints: Optional[Iterable] = None,
+    max_diffs: int = 20,
+    max_fixpoint_rounds: int = 8,
+) -> DeterminismResult:
+    """Check one macro spec for same-cycle order dependence.
+
+    When ``constraints`` is None, a conflict-detector pass derives the
+    partition pairs that must stay ordered; independent pairs are then
+    shuffled with each seed and the stats fingerprint must stay
+    bit-identical to the plain-kernel baseline.
+
+    Each shuffled run is itself conflict-tracked.  A reorder that puts two
+    previously never-colliding partitions on the same cycle manufactures a
+    race the canonical pass could not have seen; such pairs were never
+    independent, so they join the constraint set and the seed is redone
+    until a shuffle closes without new edges (bounded by
+    ``max_fixpoint_rounds``).  Only then does the fingerprint comparison
+    count — the sanitizer's claim is invariance under reorderings of
+    *proven*-independent events, not of lucky ones.
+    """
+    conflict_summary = None
+    if constraints is None:
+        tracker, _ = analyze_spec(spec)
+        constraints = tracker.constraint_pairs()
+        conflict_summary = {
+            "edges": len(tracker.edges),
+            "mediation_only": not tracker.non_mediation_edges(),
+        }
+    constraint_set = {frozenset(pair) for pair in constraints}
+    machine, result = run_spec_machine(spec)
+    baseline = machine_fingerprint(machine, result)
+    runs: List[ShuffleRun] = []
+    inferred: List[List[str]] = []
+    for seed in seeds:
+        for rounds in range(1, max_fixpoint_rounds + 1):
+            sim = TrackedShuffleSimulator(seed=seed, constraints=constraint_set)
+            shuffled_machine, shuffled_result = run_spec_machine(spec, simulator=sim)
+            sim.finish()
+            new_pairs = sim.tracker.constraint_pairs() - constraint_set
+            if not new_pairs:
+                break
+            constraint_set |= new_pairs
+            inferred.extend(sorted(sorted(pair) for pair in new_pairs))
+        fingerprint = machine_fingerprint(shuffled_machine, shuffled_result)
+        diffs = diff_fingerprints(baseline, fingerprint)
+        runs.append(
+            ShuffleRun(
+                seed=seed,
+                identical=not diffs,
+                shuffle_choices=sim.shuffle_choices,
+                diffs=diffs[:max_diffs],
+                fixpoint_rounds=rounds,
+            )
+        )
+    return DeterminismResult(
+        spec_desc={
+            "workload": spec.workload,
+            "device": spec.device,
+            "bus": spec.bus,
+            "num_nodes": spec.num_nodes,
+            "scale": spec.scale,
+            "fabric": spec.params.get("fabric", "ideal"),
+        },
+        baseline_digest=fingerprint_digest(baseline),
+        constraints=sorted(sorted(pair) for pair in constraint_set),
+        runs=runs,
+        conflict_summary=conflict_summary,
+        inferred_constraints=inferred,
+    )
+
+
+# ----------------------------------------------------------------------
+# Self-test: the sanitizer must catch a planted order dependence
+# ----------------------------------------------------------------------
+def _probe_run(
+    seed: Optional[int],
+    constraints: Iterable = (),
+    dependent: bool = True,
+    iterations: int = 20,
+) -> Tuple[int, int, int]:
+    """Two processes in different partitions mutating shared state.
+
+    ``dependent=True`` makes the mutations non-commutative (``+3`` vs
+    ``*2`` on one shared cell) so the final value encodes the interleave;
+    ``dependent=False`` gives each process a private cell.  ``seed=None``
+    runs the plain canonical kernel.
+    """
+    from repro.sim.process import start_process
+
+    if seed is None:
+        sim = Simulator()
+    else:
+        sim = OrderShuffleSimulator(seed=seed, constraints=constraints)
+    state = {"shared": 1, "a": 0, "b": 0}
+
+    def adder():
+        for _ in range(iterations):
+            if dependent:
+                state["shared"] = state["shared"] + 3
+            else:
+                state["a"] = state["a"] + 3
+            yield 1
+
+    def doubler():
+        for _ in range(iterations):
+            if dependent:
+                state["shared"] = (state["shared"] * 2) % 100003
+            else:
+                state["b"] = (state["b"] * 2 + 1) % 100003
+            yield 1
+
+    start_process(sim, adder(), name="node0.probe")
+    start_process(sim, doubler(), name="node1.probe")
+    sim.run()
+    return (state["shared"], state["a"], state["b"])
+
+
+def self_test(verbose: bool = False) -> List[str]:
+    """Returns a list of failure strings (empty = pass)."""
+    failures: List[str] = []
+    probe_seeds = (1, 2, 3, 4, 5)
+
+    # 1. A planted order-dependent workload must be caught: at least one
+    #    shuffled interleave must change the observable outcome.
+    canonical = _probe_run(None, dependent=True)
+    shuffled = [_probe_run(seed, dependent=True) for seed in probe_seeds]
+    caught = any(outcome != canonical for outcome in shuffled)
+    if verbose:
+        print(f"dependent probe: canonical={canonical} shuffled={shuffled}")
+    if not caught:
+        failures.append(
+            "sanitizer missed the planted order dependence: every shuffled "
+            f"run matched the canonical outcome {canonical}"
+        )
+
+    # 2. Positive control: constraining the conflicting pair must restore
+    #    the canonical outcome exactly.
+    pair = [("node0", "node1")]
+    constrained = [
+        _probe_run(seed, constraints=pair, dependent=True) for seed in probe_seeds
+    ]
+    if any(outcome != canonical for outcome in constrained):
+        failures.append(
+            "constrained merge failed to preserve order of a conflicting "
+            f"pair: {constrained} != {canonical}"
+        )
+
+    # 3. An independent workload must be shuffle-invariant.
+    canonical_indep = _probe_run(None, dependent=False)
+    indep = [_probe_run(seed, dependent=False) for seed in probe_seeds[:3]]
+    if any(outcome != canonical_indep for outcome in indep):
+        failures.append(
+            f"independent probe drifted under shuffling: {indep} != {canonical_indep}"
+        )
+
+    # 4. The conflict detector must see its planted two-partition conflict.
+    from repro.analysis.conflicts import conflict_fixture
+
+    tracker = conflict_fixture(conflict_cycle=100)
+    edge = tracker.edges.get(("node0", "node1", "ni_queue"))
+    if edge is None or edge.first_cycle != 100:
+        failures.append(
+            "conflict detector missed the planted node0/node1 conflict at "
+            f"cycle 100 (edges: {list(tracker.edges)})"
+        )
+    return failures

@@ -1,0 +1,94 @@
+"""Runtime event-to-partition attribution for the conflict detector.
+
+Every kernel event carries a callback; the object that owns that callback
+determines which PDES partition the event executes in:
+
+* bound methods resolve through ``__self__`` against the machine's
+  :meth:`~repro.node.machine.Machine.partition_map` (fabric delivery
+  callbacks land in ``"fabric"``, device/bus callbacks in their node),
+* :class:`~repro.sim.process.Process` resumes resolve by the process's
+  owning object when its name follows the simulator's naming conventions
+  (``node{i}.*``, ``workload-cpu{i}``, ``cpu{i}``); the result is cached
+  on the process instance,
+* anything else (test harness callbacks, ad-hoc lambdas) falls into the
+  ``"external"`` partition, which the conflict detector treats as its own
+  partition — loud, never silently merged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Optional
+
+from repro.node.machine import Machine
+from repro.sim.process import Process
+
+#: Partition of callbacks the resolver cannot attribute.
+EXTERNAL = "external"
+
+_NAME_PATTERNS = (
+    re.compile(r"^node(\d+)\."),
+    re.compile(r"^workload-cpu(\d+)$"),
+    re.compile(r"^cpu(\d+)\b"),
+    re.compile(r"^ni(\d+)\."),
+)
+
+
+def partition_from_name(name: str) -> Optional[str]:
+    """Partition implied by a process/signal name, or None."""
+    for pattern in _NAME_PATTERNS:
+        match = pattern.match(name)
+        if match is not None:
+            return f"node{match.group(1)}"
+    return None
+
+
+class PartitionResolver:
+    """Resolves scheduled callbacks (and plain objects) to partition labels."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._by_id: Dict[int, str] = {}
+        #: Keep every mapped object alive for the resolver's lifetime so
+        #: id() keys can never be recycled onto new objects.
+        self._pinned: list = []
+        for label, objects in machine.partition_map().items():
+            for obj in objects:
+                self._by_id[id(obj)] = label
+                self._pinned.append(obj)
+
+    def resolve_owner(self, owner: object) -> str:
+        """Partition of a component object (cache, bus, NI, fabric, ...)."""
+        label = self._by_id.get(id(owner))
+        if label is not None:
+            return label
+        if isinstance(owner, Process):
+            return self._resolve_process(owner)
+        # Fall back to the object's own declaration (AbstractNI.partition)
+        # or its name, before giving up.
+        declared = getattr(owner, "partition", None)
+        if isinstance(declared, str):
+            return declared
+        name = getattr(owner, "name", None)
+        if isinstance(name, str):
+            from_name = partition_from_name(name)
+            if from_name is not None:
+                return from_name
+        return EXTERNAL
+
+    def _resolve_process(self, process: Process) -> str:
+        cached = process.__dict__.get("_analysis_partition")
+        if cached is not None:
+            return cached
+        label = partition_from_name(process.name) or EXTERNAL
+        # Cache on the instance: processes are transient, so an id()-keyed
+        # side table could alias a dead process with a new one.
+        process._analysis_partition = label
+        return label
+
+    def resolve_callback(self, callback: Callable) -> str:
+        """Partition of a scheduled callback (the event's executor)."""
+        owner = getattr(callback, "__self__", None)
+        if owner is not None:
+            return self.resolve_owner(owner)
+        return EXTERNAL

@@ -1,0 +1,206 @@
+"""Generated registry of statistics keys produced anywhere in ``src/repro``.
+
+Stat counters (:class:`repro.sim.stats.Counter`) are schema-less string
+keys: a consumer asking for ``"membus_ocupancy_cycles"`` gets a silent zero
+instead of an error.  The ``STATKEY`` lint rule closes that hole by
+checking every *consumed* literal against the registry this module
+generates from the *producer* sites:
+
+* ``X.add("key", ...)`` calls,
+* subscript stores ``counts["key"] += n`` / ``stats["key"] = n`` on
+  receivers whose terminal name is stats-shaped (``stats``, ``raw``,
+  ``counts``, ...),
+* f-string producers (``stats.add(f"poll_{kind}")``) and module-level
+  ``*_KEY`` dict-comprehension values (the precomputed per-op key tables of
+  the bus), which register a regex *pattern* with the dynamic part
+  wildcarded.
+
+The registry is regenerated on every lint run — it is derived state, never
+checked in — and can be dumped with ``python -m repro.analysis statkeys``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.ownership import SRC_ROOT, iter_modules
+
+#: Terminal receiver names treated as stat-counter objects by the
+#: producer/consumer heuristics (``self.stats``, ``agent.stats.raw``,
+#: ``counts``, ...).
+STAT_RECEIVER_NAMES = frozenset(
+    {"stats", "raw", "counts", "_counts", "txn_counts", "counters", "device_stats"}
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_stat_receiver(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and name in STAT_RECEIVER_NAMES
+
+
+def _fstring_pattern(node: ast.JoinedStr) -> Optional[str]:
+    """Regex for an f-string key: literal parts kept, holes wildcarded."""
+    parts: List[str] = []
+    literal = False
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(re.escape(value.value))
+            literal = True
+        else:
+            parts.append(".+")
+    if not literal:
+        return None  # a pure hole would match everything
+    return "".join(parts)
+
+
+@dataclass
+class StatKeyRegistry:
+    """All stat keys the source tree can produce."""
+
+    literals: Set[str] = field(default_factory=set)
+    patterns: List[str] = field(default_factory=list)
+    producers: Dict[str, List[str]] = field(default_factory=dict)
+    _compiled: Optional[List[re.Pattern]] = None
+
+    def add_literal(self, key: str, site: str) -> None:
+        self.literals.add(key)
+        self.producers.setdefault(key, []).append(site)
+
+    def add_pattern(self, pattern: str, site: str) -> None:
+        if pattern not in self.patterns:
+            self.patterns.append(pattern)
+        self.producers.setdefault(f"~{pattern}", []).append(site)
+        self._compiled = None
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.literals:
+            return True
+        if self._compiled is None:
+            self._compiled = [re.compile(p) for p in self.patterns]
+        return any(p.fullmatch(key) for p in self._compiled)
+
+    def to_dict(self) -> Dict:
+        return {
+            "literals": sorted(self.literals),
+            "patterns": sorted(self.patterns),
+            "producers": {k: sorted(v) for k, v in sorted(self.producers.items())},
+        }
+
+
+class _ProducerScan(ast.NodeVisitor):
+    def __init__(self, registry: StatKeyRegistry, relpath: str):
+        self.registry = registry
+        self.relpath = relpath
+
+    def _site(self, node: ast.AST) -> str:
+        return f"{self.relpath}:{node.lineno}"
+
+    def _register_key(self, key_node: ast.AST, site: str) -> None:
+        if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+            self.registry.add_literal(key_node.value, site)
+        elif isinstance(key_node, ast.JoinedStr):
+            pattern = _fstring_pattern(key_node)
+            if pattern is not None:
+                self.registry.add_pattern(pattern, site)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "add"
+            and node.args
+            and _is_stat_receiver(func.value)
+        ):
+            self._register_key(node.args[0], self._site(node))
+        self.generic_visit(node)
+
+    def _visit_store_target(self, target: ast.AST) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and _is_stat_receiver(target.value)
+        ):
+            self._register_key(target.slice, self._site(target))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._visit_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._visit_store_target(node.target)
+        self.generic_visit(node)
+
+
+def _scan_key_tables(tree: ast.Module, registry: StatKeyRegistry, relpath: str) -> None:
+    """Register f-string values of module-level ``*_KEY`` dict comprehensions.
+
+    The bus precomputes per-op stat keys once (``_TXN_OP_KEY = {op:
+    f"txn_{op.value}" ...}``) and then stores through them dynamically;
+    the comprehension value is the only static trace of those key shapes.
+    """
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        name = _terminal_name(stmt.targets[0]) if len(stmt.targets) == 1 else None
+        if name is None or "KEY" not in name.upper():
+            continue
+        value = stmt.value
+        if isinstance(value, ast.DictComp) and isinstance(value.value, ast.JoinedStr):
+            pattern = _fstring_pattern(value.value)
+            if pattern is not None:
+                registry.add_pattern(pattern, f"{relpath}:{stmt.lineno}")
+
+
+def generate_registry(root: Path = SRC_ROOT) -> StatKeyRegistry:
+    """Scan every module under ``root`` and build the producer registry."""
+    registry = StatKeyRegistry()
+    for relpath, path in iter_modules(root):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue
+        _ProducerScan(registry, relpath).visit(tree)
+        _scan_key_tables(tree, registry, relpath)
+    return registry
+
+
+def consumed_keys(tree: ast.AST) -> List[tuple]:
+    """``(lineno, col, key)`` for every stat-key literal a module consumes.
+
+    Consumers are ``X.get("key" [, default])`` calls and subscript *loads*
+    ``X["key"]`` on stats-shaped receivers.
+    """
+    out: List[tuple] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and node.args
+                and _is_stat_receiver(func.value)
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.append((node.lineno, node.col_offset, node.args[0].value))
+        elif isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            if (
+                _is_stat_receiver(node.value)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                out.append((node.lineno, node.col_offset, node.slice.value))
+    return out

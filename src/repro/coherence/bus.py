@@ -27,8 +27,8 @@ NACK_BACKOFF_CYCLES = 20
 
 #: Per-op / per-bus stat keys, precomputed once instead of formatted on
 #: every transaction (the bus transaction path is the simulator's hottest).
-_TXN_OP_KEY = {op: f"txn_{op.value}" for op in BusOp}
-_TXN_BUS_KEY = {bus: f"txn_on_{bus.value}" for bus in BusKind}
+_TXN_OP_KEY = {op: f"txn_{op.value}" for op in BusOp}  # repro: allow[MUTSTATE] constant per-op stat-key table, built once at import
+_TXN_BUS_KEY = {bus: f"txn_on_{bus.value}" for bus in BusKind}  # repro: allow[MUTSTATE] constant per-bus stat-key table, built once at import
 
 
 class BusError(RuntimeError):
@@ -93,6 +93,12 @@ class NodeInterconnect:
                 self._dir_lookup_cycles = params.directory_lookup_cycles
         self.stats = Counter()
         self.nack_count = 0
+        #: Optional observer called once per completed transaction, while
+        #: the buses are still held: ``access_probe(txn, timing_bus)``.
+        #: The partition-safety conflict detector (repro.analysis) installs
+        #: one to record per-cycle bus/directory footprints; the default
+        #: ``None`` keeps the hot path to a single attribute test.
+        self.access_probe = None
 
     # ------------------------------------------------------------------
     # Agent registration
@@ -300,6 +306,8 @@ class NodeInterconnect:
                     # so folding the penalty into the memoised value is safe.
                     occupancy += self._dir_lookup_cycles
                 self._occupancy_cache[occ_key] = occupancy
+            if self.access_probe is not None:
+                self.access_probe(txn, timing_bus)
             counts = self.stats.raw
             counts[_TXN_OP_KEY[op]] += 1
             counts[_TXN_BUS_KEY[timing_bus]] += 1

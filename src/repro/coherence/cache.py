@@ -119,7 +119,7 @@ class _CompiledProtocol:
 #: Compiled engines memoised per protocol name; re-registering a name (the
 #: plugin ``replace=True`` path) produces a different spec object and
 #: recompiles.
-_ENGINE_CACHE: Dict[str, Tuple[ProtocolSpec, _CompiledProtocol]] = {}
+_ENGINE_CACHE: Dict[str, Tuple[ProtocolSpec, _CompiledProtocol]] = {}  # repro: allow[MUTSTATE] memo keyed by protocol spec identity, machine-free
 
 
 def _engine_for(name: str) -> _CompiledProtocol:

@@ -30,8 +30,8 @@ from repro.coherence.protocols.spec import ProtocolError, ProtocolSpec
 #: that alters simulated behaviour; stale cached results stop matching.
 PROTOCOL_SCHEMA_VERSION = 1
 
-_BUILTIN: Dict[str, ProtocolSpec] = {}
-_REGISTRY: Dict[str, ProtocolSpec] = {}
+_BUILTIN: Dict[str, ProtocolSpec] = {}  # repro: allow[MUTSTATE] import-time protocol plugin registry
+_REGISTRY: Dict[str, ProtocolSpec] = {}  # repro: allow[MUTSTATE] import-time protocol plugin registry
 
 
 def register_protocol(

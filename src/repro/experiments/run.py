@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments.run netsense [--quick] [--jobs 4]
     python -m repro.experiments.run protocols [--quick] [--jobs 4]
     python -m repro.experiments.run all [--quick] [--json results.json]
+    python -m repro.experiments.run analyze {lint,statkeys,conflicts,determinism} [...]
 
 ``all`` regenerates the paper artifacts (tables + figures).  The
 beyond-the-paper sweeps are separate commands: ``scalability`` re-runs the
@@ -187,6 +188,12 @@ def _progress(completed: int, total: int, result) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "analyze":
+        # Partition-safety analyzer: lint / conflicts / determinism.
+        from repro.analysis.__main__ import main as analysis_main
+
+        return analysis_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
         "experiment",

@@ -50,7 +50,7 @@ GRID_KINDS: Tuple[str, ...] = ("mesh", "torus")
 
 #: Common aliases rejected with a hint, keeping the grammar canonical (one
 #: topology, one spelling — fabric names feed experiment-spec hashes).
-_KIND_HINTS = {"crossbar": "xbar", "xb": "xbar", "grid": "mesh", "ring": "torus"}
+_KIND_HINTS = {"crossbar": "xbar", "xb": "xbar", "grid": "mesh", "ring": "torus"}  # repro: allow[MUTSTATE] constant alias-hint table
 
 _NAME_PATTERN = re.compile(r"^(?P<kind>[a-z]+)(?P<dims>\d+x\d+)?$")
 

@@ -31,14 +31,14 @@ FABRIC_SCHEMA_VERSION = 1
 
 #: The pinned built-in fabrics; ``unregister_fabric`` restores these if a
 #: plugin shadowed one of the kinds.
-_BUILTIN_CLASSES: Dict[str, Type[AbstractFabric]] = {
+_BUILTIN_CLASSES: Dict[str, Type[AbstractFabric]] = {  # repro: allow[MUTSTATE] import-time fabric plugin registry
     "ideal": IdealFabric,
     "xbar": CrossbarFabric,
     "mesh": MeshFabric,
     "torus": TorusFabric,
 }
 
-_FABRIC_CLASSES: Dict[str, Type[AbstractFabric]] = dict(_BUILTIN_CLASSES)
+_FABRIC_CLASSES: Dict[str, Type[AbstractFabric]] = dict(_BUILTIN_CLASSES)  # repro: allow[MUTSTATE] import-time fabric plugin registry
 
 
 def parse_fabric(name: str) -> FabricSpec:

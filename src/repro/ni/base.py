@@ -96,6 +96,10 @@ class AbstractNI(abc.ABC):
         self.bus_kind = bus_kind
         self.agent_kind = AgentKind.NI_DEVICE
         self.name = f"node{node_id}.{self.taxonomy_name}"
+        #: PDES partition this device belongs to (see Machine.partition_map
+        #: and repro.analysis): the NI is node-owned; only the fabric's
+        #: delivery callbacks cross into it from the outside.
+        self.partition = f"node{node_id}"
         self.stats = Counter()
         self._counts = self.stats.raw
         #: words/blocks per payload size, memoised (messages repeat sizes).

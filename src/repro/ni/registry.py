@@ -217,7 +217,7 @@ def _reduce_synthesized(cls: "_SynthesizedMeta"):
 copyreg.pickle(_SynthesizedMeta, _reduce_synthesized)
 
 
-_SYNTHESIZED: Dict[str, Type[AbstractNI]] = {}
+_SYNTHESIZED: Dict[str, Type[AbstractNI]] = {}  # repro: allow[MUTSTATE] memo of synthesized device classes, machine-free
 
 
 def synthesized_class(name: str) -> Type[AbstractNI]:

@@ -152,7 +152,7 @@ EVALUATED_DEVICES = ("NI2w", "CNI4", "CNI16Q", "CNI512Q", "CNI16Qm")
 
 #: The pinned implementations of the paper devices; `unregister_device`
 #: restores these if a plugin shadowed one of the names.
-_PAPER_CLASSES: Dict[str, Type[AbstractNI]] = {
+_PAPER_CLASSES: Dict[str, Type[AbstractNI]] = {  # repro: allow[MUTSTATE] import-time device plugin registry
     "NI2w": NI2w,
     "CNI4": CNI4,
     "CNI16Q": CNI16Q,
@@ -160,7 +160,7 @@ _PAPER_CLASSES: Dict[str, Type[AbstractNI]] = {
     "CNI16Qm": CNI16Qm,
 }
 
-_DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = dict(_PAPER_CLASSES)
+_DEVICE_CLASSES: Dict[str, Type[AbstractNI]] = dict(_PAPER_CLASSES)  # repro: allow[MUTSTATE] import-time device plugin registry
 
 
 def device_class(name: str) -> Type[AbstractNI]:
@@ -305,7 +305,7 @@ _INFRA_PARAMS: FrozenSet[str] = frozenset(
      "bus_kind", "dram_allocator"}
 )
 
-_ALLOWED_KWARGS_CACHE: Dict[type, FrozenSet[str]] = {}
+_ALLOWED_KWARGS_CACHE: Dict[type, FrozenSet[str]] = {}  # repro: allow[MUTSTATE] memo keyed by device class, machine-free
 
 
 def _allowed_ni_kwargs(cls: type) -> FrozenSet[str]:

@@ -110,6 +110,16 @@ class Simulator:
         # waiting process slept on an arrival signal instead.
         self.elided_events = 0
         self.elided_cycles = 0
+        # Instrumentation seam (repro.analysis).  When _hooked is True the
+        # drain switches to _drain_hooked, which pulls each cycle's events
+        # into per-group batches and routes every execution through the
+        # overridable event_group/pick_next/on_enqueue/on_execute hooks.
+        # The plain path pays exactly one attribute test per drain call.
+        self._hooked = False
+        self._batch: Dict[Any, deque] = {}
+        self._batch_count = 0
+        self._batch_time = 0
+        self._current_event: Optional[_ScheduledEvent] = None
 
     @property
     def now(self) -> int:
@@ -231,6 +241,10 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Return the time of the next pending event, or ``None`` if idle."""
+        if self._batch_count:
+            # Events already pulled into the hooked drain's cycle batch are
+            # no longer in the lane/heap but are still pending.
+            return self._batch_time
         self._skim_cancelled()
         queue = self._queue
         lane = self._lane
@@ -268,6 +282,8 @@ class Simulator:
         (so it stays correct when a callback raises), saving one attribute
         store per event on the hottest loop in the simulator.
         """
+        if self._hooked:
+            return self._drain_hooked(until, max_events)
         queue = self._queue
         lane = self._lane
         free = self._free
@@ -346,6 +362,168 @@ class Simulator:
         return executed
 
     # ------------------------------------------------------------------
+    # Instrumented execution (repro.analysis)
+    # ------------------------------------------------------------------
+    def enable_hooks(self) -> None:
+        """Switch the drain to the hooked path (see the hook methods below).
+
+        Subclasses that override :meth:`event_group` / :meth:`pick_next` /
+        :meth:`on_enqueue` / :meth:`on_execute` call this once after
+        construction; the plain hot path is untouched until then.
+        """
+        self._hooked = True
+
+    def event_group(self, event: _ScheduledEvent) -> Any:
+        """Hook: the batch group an event belongs to (default: one group).
+
+        The hooked drain keeps one FIFO deque per group for the current
+        cycle; :meth:`pick_next` chooses among the group heads.
+        """
+        return None
+
+    def pick_next(self) -> _ScheduledEvent:
+        """Hook: pop the next event of the current cycle's batch.
+
+        The default reproduces the canonical global ``(time, seq)`` order:
+        among all group heads, the smallest ``seq`` runs first.  Called only
+        when ``_batch_count > 0``; implementations must pop and return one
+        event from one of the ``_batch`` deques.
+        """
+        best_dq = None
+        best_seq = None
+        for dq in self._batch.values():
+            if dq:
+                seq = dq[0].seq
+                if best_seq is None or seq < best_seq:
+                    best_seq = seq
+                    best_dq = dq
+        return best_dq.popleft()
+
+    def on_enqueue(self, event: _ScheduledEvent, parent: Optional[_ScheduledEvent]) -> None:
+        """Hook: ``event`` joined the current cycle's batch.
+
+        ``parent`` is the event whose callback scheduled it (``None`` for
+        events that were already pending when the cycle began, or that were
+        scheduled from outside the drain).
+        """
+
+    def on_execute(self, event: _ScheduledEvent) -> None:
+        """Hook: ``event`` is about to run (``self.now`` already advanced)."""
+
+    def _pull_batch(self) -> None:
+        """Move every pending event at the batch cycle into the group deques.
+
+        Called when a cycle opens and again after every executed callback,
+        so same-cycle events scheduled *during* execution are attributed to
+        the event that scheduled them (``self._current_event``) — the
+        intra-cycle causality the conflict detector needs.
+        """
+        t = self._batch_time
+        lane = self._lane
+        queue = self._queue
+        batch = self._batch
+        parent = self._current_event
+        pulled = 0
+        from_heap = 0
+        while lane and lane[0].time == t:
+            event = lane.popleft()
+            if event.cancelled:
+                self._recycle_one(event)
+                continue
+            self.on_enqueue(event, parent)
+            group = self.event_group(event)
+            dq = batch.get(group)
+            if dq is None:
+                dq = batch[group] = deque()
+            dq.append(event)
+            pulled += 1
+        while queue and queue[0][0] == t:
+            event = heappop(queue)[2]
+            if event.cancelled:
+                self._recycle_one(event)
+                continue
+            self.on_enqueue(event, parent)
+            group = self.event_group(event)
+            dq = batch.get(group)
+            if dq is None:
+                dq = batch[group] = deque()
+            dq.append(event)
+            pulled += 1
+            from_heap += 1
+        self._batch_count += pulled
+        # Lane/heap split is accounted at pull time on this path (an event
+        # cancelled after being batched is a negligible, analysis-only skew).
+        self.heap_executed += from_heap
+        self.lane_executed += pulled - from_heap
+
+    def _recycle_one(self, event: _ScheduledEvent) -> None:
+        if event.recyclable and len(self._free) < _POOL_MAX:
+            event.callback = None
+            event.args = ()
+            event.cancelled = False
+            self._free.append(event)
+
+    def _drain_hooked(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """Instrumented twin of :meth:`_drain`.
+
+        Differences from the plain path: events are pulled cycle-at-a-time
+        into per-group batches, execution order within a cycle is delegated
+        to :meth:`pick_next`, and executed records are **never** recycled —
+        hook implementations key side tables by event identity, and a pooled
+        record re-issued mid-cycle would alias its predecessor.  Batch
+        leftovers persist on the instance so ``step()``/``max_events``
+        interruptions resume exactly where they stopped.
+        """
+        lane = self._lane
+        queue = self._queue
+        time_limit = until if until is not None else float("inf")
+        event_limit = max_events if max_events is not None else float("inf")
+        executed = 0
+        try:
+            while True:
+                if not self._batch_count:
+                    self._skim_cancelled()
+                    if lane:
+                        t = lane[0].time
+                        if queue and queue[0][0] < t:
+                            t = queue[0][0]
+                    elif queue:
+                        t = queue[0][0]
+                    else:
+                        break
+                    if t > time_limit:
+                        self._now = until
+                        break
+                    self._batch_time = t
+                    self._current_event = None
+                    self._pull_batch()
+                    continue
+                if self._batch_time > time_limit:
+                    # Leftover batch from an interrupted drain lies beyond
+                    # this call's horizon; leave it pending.
+                    self._now = until
+                    break
+                if executed >= event_limit:
+                    break
+                event = self.pick_next()
+                self._batch_count -= 1
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                executed += 1
+                self._current_event = event
+                self.on_execute(event)
+                event.callback(*event.args)
+                # Pull before clearing: same-cycle events scheduled by this
+                # callback are children of the event that just ran.
+                self._pull_batch()
+                self._current_event = None
+        finally:
+            self._current_event = None
+            self.event_count += executed
+        return executed
+
+    # ------------------------------------------------------------------
     # Profiling
     # ------------------------------------------------------------------
     def run_profile(
@@ -365,9 +543,9 @@ class Simulator:
         pool_before = self.pool_reuses
         elided_ev_before = self.elided_events
         elided_cy_before = self.elided_cycles
-        start = _time.perf_counter()
+        start = _time.perf_counter()  # repro: allow[WALLCLOCK] run_profile measures wall throughput
         end_time = self.run(until=until, max_events=max_events)
-        wall_s = _time.perf_counter() - start
+        wall_s = _time.perf_counter() - start  # repro: allow[WALLCLOCK] run_profile measures wall throughput
         events = self.event_count - events_before
         return {
             "end_time": float(end_time),
