@@ -73,11 +73,22 @@ def _protocols_headline(report: dict) -> dict:
     }
 
 
+def _service_headline(report: dict) -> dict:
+    dedup = report.get("dedup", {})
+    return {
+        "warm_hits_per_sec": report.get("warm", {}).get("hits_per_sec"),
+        "dedup_fan_in": dedup.get("clients"),
+        "dedup_simulations": dedup.get("simulations"),
+        "etag_304_ok": report.get("etag", {}).get("ok"),
+    }
+
+
 _HEADLINES = {
     "engine": _engine_headline,
     "polling": _polling_headline,
     "fabric": _fabric_headline,
     "protocols": _protocols_headline,
+    "service": _service_headline,
 }
 
 

@@ -1,0 +1,311 @@
+"""Experiment-service benchmark: warm-hit throughput and dedup fan-in.
+
+Three measurements against a running :mod:`repro.service` HTTP server:
+
+* **warm-hit serving** — requests/sec for ``GET /result/<key>`` over a
+  thread pool; the read path is pure store bytes (no Machine, no spec
+  re-validation), so this is the store + HTTP overhead floor,
+* **dedup fan-in** — N concurrent identical ``POST /run`` requests for a
+  spec the store has never seen; the in-flight registry must collapse them
+  to exactly **one** simulation, and
+* **ETag revalidation** — a warm ``GET`` with ``If-None-Match`` must come
+  back ``304 Not Modified`` with an empty body.
+
+By default the benchmark owns its server (ephemeral port, throwaway store
+directory).  ``--url`` points it at an externally-started server instead —
+that is how the CI service-smoke job drives a headless
+``python -m repro.service`` across process boundaries::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --check --json BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --url http://127.0.0.1:8042 --check
+
+``--check`` exits non-zero if the fan-in deduplication missed (more than
+one simulation ran), the 304 revalidation failed, or warm serving fell
+below ``--min-hits-per-sec``.  The JSON report ends with the server's
+``/stats`` snapshot so the perf-trajectory artifact records store and
+dedup counters alongside the timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+#: The spec every phase revolves around: small enough to simulate in
+#: milliseconds, so the benchmark measures the service, not the machine.
+WARM_SPEC = {
+    "kind": "latency",
+    "device": "CNI4",
+    "bus": "memory",
+    "message_bytes": 32,
+    "iterations": 4,
+    "warmup": 0,
+}
+
+#: The dedup phase needs a spec the store has never seen (the fan-in check
+#: requires a cold store for this point), heavy enough (~tens of ms) that
+#: over-the-wire clients reliably pile onto the in-flight registry while
+#: the leader is still simulating.
+FANIN_SPEC = dict(WARM_SPEC, message_bytes=64, iterations=48)
+
+
+def _request(url, data=None, headers=None, timeout=120):
+    """(status, headers, body) — HTTP errors returned, not raised."""
+    req = urllib.request.Request(url, data=data, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+def _get_stats(base_url: str) -> dict:
+    status, _, body = _request(base_url + "/stats")
+    assert status == 200, f"/stats returned {status}"
+    return json.loads(body)
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+def seed_warm_entry(base_url: str) -> str:
+    """POST the warm spec once; returns its result key."""
+    body = json.dumps(WARM_SPEC).encode()
+    status, headers, _ = _request(base_url + "/run", data=body)
+    assert status == 200, f"seed run returned {status}"
+    return headers["Location"].rsplit("/", 1)[-1]
+
+
+def warm_hit_throughput(base_url: str, requests: int, threads: int) -> dict:
+    """Requests/sec for the pure read path under a thread pool."""
+    url = f"{base_url}/result/{seed_warm_entry(base_url)}"
+
+    def fetch(_):
+        status, _, body = _request(url)
+        return status == 200 and len(body) > 0
+
+    start = perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        outcomes = list(pool.map(fetch, range(requests)))
+    wall = perf_counter() - start
+    assert all(outcomes), "warm GET returned a non-200 or empty body"
+    return {
+        "requests": requests,
+        "threads": threads,
+        "wall_s": wall,
+        "hits_per_sec": requests / wall if wall > 0 else float("inf"),
+    }
+
+
+def etag_revalidation(base_url: str) -> dict:
+    """Warm GET, then re-fetch with If-None-Match: expect 304, no body."""
+    url = f"{base_url}/result/{seed_warm_entry(base_url)}"
+    status, headers, _ = _request(url)
+    assert status == 200, f"warm GET returned {status}"
+    etag = headers["ETag"]
+    status304, headers304, body304 = _request(url, headers={"If-None-Match": etag})
+    return {
+        "etag": etag,
+        "status": status304,
+        "empty_body": not body304,
+        "etag_stable": headers304.get("ETag") == etag,
+        "ok": status304 == 304 and not body304 and headers304.get("ETag") == etag,
+    }
+
+
+def dedup_fan_in(base_url: str, clients: int) -> dict:
+    """N concurrent identical POST /run for an unseen spec -> 1 simulation."""
+    before = _get_stats(base_url)
+    body = json.dumps(FANIN_SPEC).encode()
+    barrier = threading.Barrier(clients)
+
+    def run(_):
+        barrier.wait()
+        status, headers, payload = _request(base_url + "/run", data=body)
+        return status, headers.get("X-Repro-Role"), payload
+
+    start = perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        outcomes = list(pool.map(run, range(clients)))
+    wall = perf_counter() - start
+    after = _get_stats(base_url)
+
+    statuses = [status for status, _, _ in outcomes]
+    bodies = {payload for _, _, payload in outcomes}
+    roles = [role for _, role, _ in outcomes]
+    runs_delta = (
+        after["service"]["runs_completed"] - before["service"]["runs_completed"]
+    )
+    return {
+        "clients": clients,
+        "wall_s": wall,
+        "all_200": statuses == [200] * clients,
+        "distinct_bodies": len(bodies),
+        "leader_responses": roles.count("leader"),
+        "simulations": runs_delta,
+        "deduped_delta": after["deduped"] - before["deduped"],
+        "ok": statuses == [200] * clients and len(bodies) == 1 and runs_delta == 1,
+    }
+
+
+def batch_round_trip(base_url: str, sizes) -> dict:
+    """Submit a small sweep via POST /batch and drain its progress stream."""
+    sweep = {"base": dict(WARM_SPEC), "axes": {"message_bytes": list(sizes)}}
+    start = perf_counter()
+    status, _, payload = _request(base_url + "/batch", data=json.dumps(sweep).encode())
+    assert status == 202, f"batch submit returned {status}"
+    submitted = json.loads(payload)
+    status, _, stream = _request(base_url + submitted["stream"])
+    wall = perf_counter() - start
+    assert status == 200, f"batch stream returned {status}"
+    lines = [json.loads(line) for line in stream.decode().strip().splitlines()]
+    done = lines[-1]
+    assert done.get("done"), "batch stream ended without a done record"
+    return {
+        "points": submitted["points"],
+        "wall_s": wall,
+        "completed": done["completed"],
+        "error": done["error"],
+        "ok": done["error"] is None and done["completed"] == submitted["points"],
+    }
+
+
+# ----------------------------------------------------------------------
+# In-process server (default mode)
+# ----------------------------------------------------------------------
+class _OwnedServer:
+    """A throwaway service instance on an ephemeral port."""
+
+    def __init__(self):
+        from repro.service import ExperimentService, ResultStore, make_server
+
+        self.store_dir = tempfile.mkdtemp(prefix="bench-service-")
+        self.service = ExperimentService(ResultStore(self.store_dir), jobs=1)
+        self.server = make_server(self.service)
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        shutil.rmtree(self.store_dir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# pytest entry
+# ----------------------------------------------------------------------
+def test_service_warm_hits_and_dedup(benchmark):
+    from _util import single_run
+
+    owned = _OwnedServer()
+    try:
+        report = single_run(benchmark, run_benchmark, owned.url, 200, 8, 32)
+    finally:
+        owned.close()
+    print(
+        f"\nService: {report['warm']['hits_per_sec']:,.0f} warm hits/sec, "
+        f"dedup fan-in {report['dedup']['clients']} -> "
+        f"{report['dedup']['simulations']} simulation(s)"
+    )
+    assert report["dedup"]["ok"], "fan-in ran more than one simulation"
+    assert report["etag"]["ok"], "If-None-Match did not return 304"
+    assert report["batch"]["ok"], "batch round-trip failed"
+
+
+def run_benchmark(base_url: str, requests: int, threads: int, fanin: int) -> dict:
+    report = {
+        "batch": batch_round_trip(base_url, (8, 16, 32)),
+        "warm": warm_hit_throughput(base_url, requests, threads),
+        "etag": etag_revalidation(base_url),
+        "dedup": dedup_fan_in(base_url, fanin),
+    }
+    report["stats"] = _get_stats(base_url)
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI (CI service-smoke gate)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--url", default=None,
+                        help="base URL of a running server (default: own one in-process)")
+    parser.add_argument("--requests", type=int, default=300,
+                        help="warm GETs for the throughput phase")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="client threads for the throughput phase")
+    parser.add_argument("--fanin", type=int, default=32,
+                        help="concurrent identical POST /run clients")
+    parser.add_argument("--min-hits-per-sec", type=float, default=50.0,
+                        help="--check fails below this warm-hit rate")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on dedup/304/throughput failure")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    owned = None
+    if args.url is None:
+        sys.path.insert(0, "src")
+        owned = _OwnedServer()
+        base_url = owned.url
+        print(f"owning server at {base_url}")
+    else:
+        base_url = args.url.rstrip("/")
+
+    try:
+        report = run_benchmark(base_url, args.requests, args.threads, args.fanin)
+    finally:
+        if owned is not None:
+            owned.close()
+
+    warm = report["warm"]
+    dedup = report["dedup"]
+    print(f"batch round-trip   {report['batch']['points']} points in "
+          f"{report['batch']['wall_s']:.2f}s")
+    print(f"warm hits          {warm['hits_per_sec']:>10,.0f} req/sec "
+          f"({warm['requests']} GETs x {warm['threads']} threads)")
+    print(f"etag revalidation  {'304 ok' if report['etag']['ok'] else 'FAILED'}")
+    print(f"dedup fan-in       {dedup['clients']} clients -> "
+          f"{dedup['simulations']} simulation(s), {dedup['deduped_delta']} deduped")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+
+    if args.check:
+        failures = []
+        if not dedup["ok"]:
+            failures.append(
+                f"dedup fan-in ran {dedup['simulations']} simulations "
+                f"(expected 1) across {dedup['clients']} clients"
+            )
+        if not report["etag"]["ok"]:
+            failures.append("warm re-fetch with If-None-Match was not a 304")
+        if not report["batch"]["ok"]:
+            failures.append(f"batch round-trip failed: {report['batch']}")
+        if warm["hits_per_sec"] < args.min_hits_per_sec:
+            failures.append(
+                f"warm serving at {warm['hits_per_sec']:.0f} req/sec is below "
+                f"the {args.min_hits_per_sec:.0f} floor"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: one simulation per unique spec, 304 revalidation ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

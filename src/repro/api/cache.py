@@ -41,6 +41,86 @@ def _repro_version() -> str:
     return __version__
 
 
+def encode_entry(result: RunResult) -> Dict:
+    """``result`` as a cache-entry payload, stamped with every schema version
+    the entry's validity depends on."""
+    payload = result.to_dict()
+    payload["repro_version"] = _repro_version()
+    payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
+    payload["fabric_schema_version"] = FABRIC_SCHEMA_VERSION
+    payload["protocol_schema_version"] = PROTOCOL_SCHEMA_VERSION
+    return payload
+
+
+def entry_is_current(payload: Dict) -> bool:
+    """Whether an entry payload was written under the live schema versions.
+
+    ``repro_version`` guards against a different simulator revision: the spec
+    may hash the same, but the numbers could be stale.  The schema stamps are
+    belt-and-braces beside the schema-versioned cache key, for entries whose
+    filename was produced by other means.
+    """
+    return (
+        payload.get("repro_version") == _repro_version()
+        and payload.get("device_schema_version") == DEVICE_SCHEMA_VERSION
+        and payload.get("fabric_schema_version") == FABRIC_SCHEMA_VERSION
+        and payload.get("protocol_schema_version") == PROTOCOL_SCHEMA_VERSION
+    )
+
+
+def decode_entry(payload: Dict, spec: Optional[ExperimentSpec] = None) -> Optional[RunResult]:
+    """Decode a cache-entry payload into a :class:`RunResult`, or ``None``.
+
+    ``None`` means the entry must be treated as a miss: the payload has the
+    wrong shape, was written under stale schema versions, or (when ``spec``
+    is given) records a different spec — a hash collision in the filename or
+    a hand-edited entry.
+    """
+    try:
+        result = RunResult.from_dict(payload)
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return None
+    if not entry_is_current(payload):
+        return None
+    if spec is not None and result.spec.spec_hash() != spec.spec_hash():
+        return None
+    return result
+
+
+def read_entry(path: str) -> Optional[Dict]:
+    """The JSON payload at ``path``, or ``None`` if unreadable/torn."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def write_entry_atomic(path: str, payload: Dict) -> bytes:
+    """Serialise ``payload`` to ``path`` via tempfile + ``os.replace``.
+
+    The write-rename means a crashed or racing writer never leaves a torn
+    JSON file: concurrent writers of the same key each land a complete
+    entry, last rename wins.  Returns the exact bytes written, so callers
+    can derive content digests (ETags) without re-reading the file.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return data
+
+
 class ResultCache:
     """A directory of memoised :class:`RunResult` records."""
 
@@ -48,6 +128,9 @@ class ResultCache:
         self.directory = directory
         self.hits = 0
         self.misses = 0
+        #: Entries written through this instance (surfaced by the service
+        #: store's ``stats()``; plain cache ``stats()`` stays hits/misses).
+        self.stores = 0
 
     def cache_key(self, spec: ExperimentSpec) -> str:
         """Spec hash widened with the device, fabric and protocol schema
@@ -64,37 +147,9 @@ class ResultCache:
 
     def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
         """The cached result for ``spec``, or None on a miss."""
-        path = self.path_for(spec)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            result = RunResult.from_dict(payload)
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            # Unreadable, or parseable JSON of the wrong shape: a miss.
-            self.misses += 1
-            return None
-        if payload.get("repro_version") != _repro_version():
-            # Computed by a different simulator revision: the spec may hash
-            # the same, but the numbers could be stale.  Treat as a miss so
-            # the point is re-simulated and the entry rewritten.
-            self.misses += 1
-            return None
-        if payload.get("device_schema_version") != DEVICE_SCHEMA_VERSION:
-            # Devices were assembled under different construction rules
-            # (belt-and-braces beside the schema-versioned cache key, for
-            # entries whose filename was produced by other means).
-            self.misses += 1
-            return None
-        if payload.get("fabric_schema_version") != FABRIC_SCHEMA_VERSION:
-            # Fabric timing semantics changed since this entry was written.
-            self.misses += 1
-            return None
-        if payload.get("protocol_schema_version") != PROTOCOL_SCHEMA_VERSION:
-            # Coherence transition rules changed since this entry was written.
-            self.misses += 1
-            return None
-        if result.spec.spec_hash() != spec.spec_hash():
-            # Hash collision in the filename or a hand-edited entry.
+        payload = read_entry(self.path_for(spec))
+        result = decode_entry(payload, spec) if payload is not None else None
+        if result is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -103,25 +158,9 @@ class ResultCache:
 
     def put(self, result: RunResult) -> str:
         """Persist ``result``; returns the file path written."""
-        os.makedirs(self.directory, exist_ok=True)
         path = self.path_for(result.spec)
-        payload = result.to_dict()
-        payload["repro_version"] = _repro_version()
-        payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
-        payload["fabric_schema_version"] = FABRIC_SCHEMA_VERSION
-        payload["protocol_schema_version"] = PROTOCOL_SCHEMA_VERSION
-        # Write-rename so a crashed run never leaves a torn JSON file.
-        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        write_entry_atomic(path, encode_entry(result))
+        self.stores += 1
         return path
 
     def clear(self) -> int:

@@ -97,6 +97,11 @@ class ResultSet:
 
     def __init__(self, results: Optional[Sequence[RunResult]] = None):
         self.results: List[RunResult] = list(results or [])
+        #: Cache/store traffic for the sweep that produced this set, filled
+        #: in by :meth:`~repro.api.runner.SweepRunner.run` (``None`` when
+        #: the set was built by hand or loaded from JSON).  Under ``--jobs``
+        #: this already includes the worker processes' aggregated counters.
+        self.cache_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # Collection protocol
@@ -188,17 +193,24 @@ class ResultSet:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "results_version": RESULTS_VERSION,
             "results": [r.to_dict() for r in self.results],
         }
+        if self.cache_stats is not None:
+            out["cache_stats"] = dict(self.cache_stats)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
         version = data.get("results_version", RESULTS_VERSION)
         if version != RESULTS_VERSION:
             raise SpecError(f"unsupported results_version {version!r}")
-        return cls([RunResult.from_dict(r) for r in data.get("results", [])])
+        out = cls([RunResult.from_dict(r) for r in data.get("results", [])])
+        stats = data.get("cache_stats")
+        if stats is not None:
+            out.cache_stats = dict(stats)
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

@@ -157,9 +157,45 @@ def _run_engine(spec: ExperimentSpec) -> Dict[str, float]:
     }
 
 
+def _worker_cache(desc: Optional[Dict[str, Any]]) -> Optional[ResultCache]:
+    """Rebuild the runner's cache/store inside a worker process.
+
+    Workers never evict (``budget_bytes=None``): the owning process enforces
+    the byte budget once per sweep, so parallel writers cannot thrash each
+    other's fresh entries.
+    """
+    if desc is None:
+        return None
+    if desc.get("sharded"):
+        from repro.service.store import ResultStore
+
+        return ResultStore(desc["directory"], budget_bytes=None)
+    return ResultCache(desc["directory"])
+
+
 def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: dict in, dict out, so payloads pickle trivially."""
-    return run_point(ExperimentSpec.from_dict(payload)).to_dict()
+    """Worker entry point: dict in, dict out, so payloads pickle trivially.
+
+    When the sweep is cached, the worker itself consults and fills the
+    on-disk store: each completed point persists immediately (a crashed
+    sweep keeps its partial results) and a point another process finished
+    meanwhile — e.g. a concurrent service batch sharing the store — is
+    served instead of re-simulated.  The worker's cache traffic comes back
+    in ``"cache"`` so the parent can fold it into its own counters.
+    """
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    counters = {"hits": 0, "stores": 0}
+    cache = None if spec.kind == "engine" else _worker_cache(payload.get("cache"))
+    if cache is not None:
+        hit = cache.get(spec)
+        if hit is not None:
+            counters["hits"] = 1
+            return {"result": hit.to_dict(), "cache": counters}
+    result = run_point(spec)
+    if cache is not None:
+        cache.put(result)
+        counters["stores"] = 1
+    return {"result": result.to_dict(), "cache": counters}
 
 
 def _run_point_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
@@ -250,21 +286,39 @@ class SweepRunner:
         if self.jobs > 1 and len(pending) > 1:
             completions = self._run_parallel(pending)
         else:
-            completions = ((spec, run_point(spec)) for spec in pending)
-        for spec, result in completions:
+            completions = ((spec, run_point(spec), None) for spec in pending)
+        for spec, result, worker_stats in completions:
             resolved[spec.spec_hash()] = result
             if self.cache is not None and spec.kind != "engine":
-                self.cache.put(result)
+                if worker_stats is None:
+                    # Serial execution: this process writes the entry.
+                    self.cache.put(result)
+                else:
+                    # The worker already wrote (or re-read) the entry; fold
+                    # its counters in.  A worker hit means another process
+                    # filled the key after our pre-check counted a miss —
+                    # reclassify, so hits+misses still sum to one event per
+                    # point and ``--jobs`` reports the same totals as serial.
+                    self.cache.hits += worker_stats.get("hits", 0)
+                    self.cache.misses -= worker_stats.get("hits", 0)
+                    self.cache.stores += worker_stats.get("stores", 0)
             completed += 1
             if self.progress is not None:
                 self.progress(completed, total, result)
+
+        if self.cache is not None and hasattr(self.cache, "enforce_budget"):
+            # Parallel workers never evict; settle the store's byte budget
+            # once, here, with every fresh entry already landed.
+            self.cache.enforce_budget()
 
         # History follows point order (not completion order) so the record
         # of a sweep is identical whether points came from cache, workers
         # or the local process.
         for key in unique:
             self._record(resolved[key])
-        return ResultSet([resolved[key] for key in order])
+        results = ResultSet([resolved[key] for key in order])
+        results.cache_stats = self.cache_stats()
+        return results
 
     def run_one(self, spec: ExperimentSpec) -> RunResult:
         """Run (or fetch from cache) a single point."""
@@ -287,10 +341,19 @@ class SweepRunner:
             return 1_000.0 * spec.messages * max(1, spec.message_bytes) / 256.0
         return 10.0 * spec.iterations * max(1, spec.message_bytes) / 256.0
 
+    def _cache_descriptor(self) -> Optional[Dict[str, Any]]:
+        """How a worker process should rebuild this runner's cache."""
+        if self.cache is None:
+            return None
+        return {
+            "directory": self.cache.directory,
+            "sharded": hasattr(self.cache, "path_for_key"),
+        }
+
     def _run_parallel(
         self, pending: Sequence[ExperimentSpec]
-    ) -> Iterator[Tuple[ExperimentSpec, RunResult]]:
-        """Yield ``(spec, result)`` pairs as worker processes finish.
+    ) -> Iterator[Tuple[ExperimentSpec, RunResult, Dict[str, int]]]:
+        """Yield ``(spec, result, worker_cache_stats)`` as workers finish.
 
         ``imap_unordered`` streams completions (so progress callbacks fire
         per point, not after the whole batch); the caller re-keys results
@@ -299,12 +362,20 @@ class SweepRunner:
         macro points last, and a straggler macro point picked up when the
         rest of the pool is already draining serializes the whole tail.
         """
-        payloads = [(index, spec.to_dict()) for index, spec in enumerate(pending)]
+        cache_desc = self._cache_descriptor()
+        payloads = [
+            (index, {"spec": spec.to_dict(), "cache": cache_desc})
+            for index, spec in enumerate(pending)
+        ]
         payloads.sort(key=lambda item: self._point_cost(pending[item[0]]), reverse=True)
         workers = min(self.jobs, len(payloads))
         with multiprocessing.Pool(processes=workers) as pool:
             for index, data in pool.imap_unordered(_run_point_indexed, payloads):
-                yield pending[index], RunResult.from_dict(data)
+                yield (
+                    pending[index],
+                    RunResult.from_dict(data["result"]),
+                    data["cache"],
+                )
 
     def _record(self, result: RunResult) -> None:
         self.history.append(result)

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments.run protocols [--quick] [--jobs 4]
     python -m repro.experiments.run all [--quick] [--json results.json]
     python -m repro.experiments.run analyze {lint,statkeys,conflicts,determinism} [...]
+    python -m repro.experiments.run serve [--port 8042] [--jobs 4] [...]
+    python -m repro.experiments.run cache {stats,ls,gc,pin,unpin} [...]
 
 ``all`` regenerates the paper artifacts (tables + figures).  The
 beyond-the-paper sweeps are separate commands: ``scalability`` re-runs the
@@ -27,6 +29,13 @@ memoises every simulated point on disk so re-running a figure is
 near-instant, ``--no-cache`` disables that, and ``--json PATH`` writes the
 full structured :class:`~repro.api.ResultSet` (plus table rows, when tables
 were regenerated) to ``PATH``.
+
+The on-disk memo is a :class:`~repro.service.store.ResultStore` — the same
+sharded content-addressed store ``serve`` (the HTTP experiment service,
+see :mod:`repro.service`) reads and writes, so figures regenerated here are
+served warm over the wire and vice versa; ``cache`` administers it
+(``stats``/``ls``/``gc``/``pin``/``unpin``).  A legacy flat cache directory
+is adopted in place.
 """
 
 from __future__ import annotations
@@ -194,6 +203,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.__main__ import main as analysis_main
 
         return analysis_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # HTTP experiment service over the shared result store.
+        from repro.service.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # Store admin: stats / ls / gc / pin / unpin.
+        from repro.service.admin import main as admin_main
+
+        return admin_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
         "experiment",
@@ -216,9 +235,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    if args.no_cache:
+        cache = None
+    else:
+        # The CLI shares the sharded content-addressed store with the HTTP
+        # service (legacy flat cache directories are adopted in place).
+        from repro.service.store import ResultStore
+
+        cache = ResultStore(args.cache_dir)
     runner = SweepRunner(
         jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_dir=cache,
         progress=_progress if args.progress else None,
     )
 

@@ -1,0 +1,35 @@
+"""Production experiment service: store, dedup, and HTTP serving.
+
+The service layer turns :mod:`repro.api` from a library into a system:
+
+* :class:`~repro.service.store.ResultStore` — a concurrency-safe,
+  content-addressed result store (sharded directories, atomic writes,
+  per-entry metadata, pinning, LRU eviction with a byte budget) that
+  subsumes the PR 1 :class:`~repro.api.cache.ResultCache` behind the same
+  interface,
+* :class:`~repro.service.dedup.InFlightRegistry` — in-flight-run
+  deduplication (thread events in-process, a lock-file + done-marker
+  protocol across processes) so N concurrent identical requests trigger
+  exactly one simulation,
+* :class:`~repro.service.http.ExperimentService` and
+  :func:`~repro.service.http.make_server` — a stdlib-only HTTP API
+  (``POST /run``, ``GET /result/<key>`` with strong ETags and 304s,
+  ``POST /batch`` with a streamed progress endpoint, ``GET /stats``)
+  started with ``python -m repro.service``,
+* :mod:`~repro.service.admin` — the ``cache {stats,ls,gc,pin,unpin}``
+  admin CLI reachable through ``python -m repro.experiments.run cache``.
+"""
+
+from repro.service.dedup import DedupError, InFlightRegistry
+from repro.service.http import ExperimentService, ServiceHandler, make_server
+from repro.service.store import EntryInfo, ResultStore
+
+__all__ = [
+    "ResultStore",
+    "EntryInfo",
+    "InFlightRegistry",
+    "DedupError",
+    "ExperimentService",
+    "ServiceHandler",
+    "make_server",
+]

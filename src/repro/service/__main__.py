@@ -1,0 +1,73 @@
+"""Serve experiments over HTTP: ``python -m repro.service``.
+
+Examples::
+
+    python -m repro.service --port 8042
+    python -m repro.service --store-dir .repro-cache --budget-mb 512 --jobs 4
+
+The store directory is shared with (and adopts entries from) the CLI's
+``--cache-dir``, so results computed by ``python -m repro.experiments.run``
+are served warm and vice versa.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api.cache import DEFAULT_CACHE_DIR
+from repro.service.http import ExperimentService, make_server
+from repro.service.store import ResultStore
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8042,
+        help="port to listen on; 0 picks an ephemeral port (default: 8042)",
+    )
+    parser.add_argument(
+        "--store-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result-store directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--budget-mb", type=float, default=None,
+        help="LRU byte budget for the store in MiB (default: unbounded)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per batch sweep (default: 1)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every request")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    budget = None if args.budget_mb is None else int(args.budget_mb * 1024 * 1024)
+    store = ResultStore(args.store_dir, budget_bytes=budget)
+    service = ExperimentService(store, jobs=args.jobs, verbose=args.verbose)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro experiment service on http://{host}:{port} "
+        f"(store={args.store_dir!r}, jobs={args.jobs}, "
+        f"budget={'unbounded' if budget is None else f'{budget} B'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

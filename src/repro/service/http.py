@@ -1,0 +1,575 @@
+"""Stdlib HTTP serving layer over the result store and dedup registry.
+
+The service exposes the whole experiment stack over the wire with nothing
+beyond ``http.server``:
+
+* ``POST /run`` — one :class:`~repro.api.ExperimentSpec` as JSON in, its
+  :class:`~repro.api.RunResult` entry as JSON out.  Warm keys are served
+  straight from the store; cold keys are arbitrated through the
+  :class:`~repro.service.dedup.InFlightRegistry` so N concurrent identical
+  requests trigger exactly one simulation.  ``?wait=0`` returns ``202`` with
+  a ``Location: /result/<key>`` to poll instead of blocking.
+* ``GET /result/<key>`` — the pure read path: one store file read, a strong
+  ETag (sha256 of the entry bytes), and ``304 Not Modified`` under
+  ``If-None-Match``.  No spec parsing, no Machine construction.  ``202``
+  while the key is in flight, ``404`` otherwise.
+* ``POST /batch`` — a :class:`~repro.api.SweepSpec` (or explicit point
+  list); returns ``202`` with a batch id.  ``GET /batch/<id>`` reports
+  progress; ``GET /batch/<id>/stream`` streams one NDJSON line per
+  completed point until the batch finishes.  The write path delegates to
+  the existing :class:`~repro.api.SweepRunner` (``--jobs`` worker
+  processes, store-backed memoisation).
+* ``GET /stats`` — hit/miss/store/eviction counters, dedup counters,
+  request counters, uptime.
+
+Run it with ``python -m repro.service`` (see :mod:`repro.service.__main__`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.results import RunResult
+from repro.api.runner import SweepRunner, run_point
+from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
+from repro.ni.taxonomy import TaxonomyError
+from repro.service.dedup import DedupError, InFlightRegistry
+from repro.service.store import ResultStore
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class _Batch:
+    """Progress state for one submitted sweep."""
+
+    def __init__(self, batch_id: str, total: int):
+        self.id = batch_id
+        self.total = total
+        self.completed = 0
+        self.events: List[Dict[str, Any]] = []
+        self.done = False
+        self.error: Optional[str] = None
+        self.keys: List[str] = []
+        self.cond = threading.Condition()
+        self.started = time.time()
+        self.elapsed_s: Optional[float] = None
+
+    def record(self, event: Dict[str, Any]) -> None:
+        with self.cond:
+            self.completed += 1
+            event["completed"] = self.completed
+            event["total"] = self.total
+            self.events.append(event)
+            self.cond.notify_all()
+
+    def finish(self, error: Optional[str] = None) -> None:
+        with self.cond:
+            self.done = True
+            self.error = error
+            self.elapsed_s = time.time() - self.started
+            self.cond.notify_all()
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self.cond:
+            return {
+                "batch": self.id,
+                "total": self.total,
+                "completed": self.completed,
+                "done": self.done,
+                "error": self.error,
+                "keys": list(self.keys),
+                "elapsed_s": (
+                    self.elapsed_s if self.elapsed_s is not None
+                    else time.time() - self.started
+                ),
+            }
+
+
+class ExperimentService:
+    """The service core: store + dedup registry + batch tracking.
+
+    Everything the HTTP handler does goes through methods here, so the
+    service is equally drivable in-process (tests, benchmarks) and over
+    the wire.
+    """
+
+    def __init__(self, store: ResultStore, jobs: int = 1, verbose: bool = False):
+        self.store = store
+        self.registry = InFlightRegistry(os.path.join(store.directory, ".inflight"))
+        self.jobs = jobs
+        self.verbose = verbose
+        self.started = time.time()
+        self._counter_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "run_requests": 0,
+            "runs_started": 0,
+            "runs_completed": 0,
+            "run_errors": 0,
+            "dedup_served": 0,
+            "store_served": 0,
+            "responses_304": 0,
+            "batches": 0,
+            "async_runs": 0,
+        }
+        self._batches: Dict[str, _Batch] = {}
+        self._batch_seq = itertools.count(1)
+        self._batch_lock = threading.Lock()
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        with self._counter_lock:
+            self.counters[counter] = self.counters.get(counter, 0) + by
+
+    # ------------------------------------------------------------------
+    # Spec parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_spec(body: Dict[str, Any]) -> ExperimentSpec:
+        """A validated spec from a request body (bare spec or ``{"spec": …}``)."""
+        if "spec" in body and isinstance(body["spec"], dict):
+            body = body["spec"]
+        return ExperimentSpec.from_dict(body).validate()
+
+    @staticmethod
+    def parse_sweep(body: Any) -> List[ExperimentSpec]:
+        """Validated points from a batch body: a SweepSpec dict, an explicit
+        ``{"points": […]}``, or a bare JSON list of spec dicts."""
+        if isinstance(body, list):
+            body = {"points": body}
+        if not isinstance(body, dict):
+            raise SpecError("batch body must be a SweepSpec object or a list of specs")
+        return SweepSpec.from_dict(body).expand()
+
+    # ------------------------------------------------------------------
+    # Single runs
+    # ------------------------------------------------------------------
+    def _simulate(self, spec: ExperimentSpec) -> RunResult:
+        self.bump("runs_started")
+        result = run_point(spec)
+        if spec.kind != "engine":
+            self.store.put(result)
+        self.bump("runs_completed")
+        return result
+
+    def run_spec(self, spec: ExperimentSpec) -> Tuple[str, str]:
+        """Execute (or dedupe, or fetch) one spec; returns ``(key, role)``.
+
+        Blocks until the result is in the store.  Role is ``"store"`` for a
+        warm hit, ``"leader"`` for the caller that simulated, ``"follower"``
+        / ``"remote"`` for deduplicated callers.
+        """
+        if spec.kind == "engine":
+            # Engine results are never stored, so dedup waiters could never
+            # fetch them; callers run wall-clock specs inline instead.
+            raise SpecError("engine specs are wall-clock measurements; run them inline")
+        key = self.store.cache_key(spec)
+        if self.store.get(spec) is not None:
+            self.bump("store_served")
+            return key, "store"
+        try:
+            _, role = self.registry.run_or_wait(
+                key,
+                compute=lambda: self._simulate(spec),
+                fetch=lambda: self.store.peek(spec),
+            )
+        except BaseException:
+            self.bump("run_errors")
+            raise
+        if role in ("follower", "remote", "store"):
+            self.bump("dedup_served")
+        return key, role
+
+    def start_async_run(self, spec: ExperimentSpec) -> str:
+        """Kick off a background run (deduplicated); returns the key."""
+        key = self.store.cache_key(spec)
+        self.bump("async_runs")
+
+        def work() -> None:
+            try:
+                self.run_spec(spec)
+            except Exception:
+                pass  # recorded in run_errors; surfaced as 404/202 on poll
+
+        threading.Thread(target=work, name=f"run-{key[:8]}", daemon=True).start()
+        return key
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def submit_batch(self, points: List[ExperimentSpec]) -> _Batch:
+        unique: Dict[str, ExperimentSpec] = {}
+        for spec in points:
+            unique.setdefault(self.store.cache_key(spec), spec)
+        with self._batch_lock:
+            seq = next(self._batch_seq)
+        digest = hashlib.sha256(
+            "".join(unique).encode("ascii")
+        ).hexdigest()[:12]
+        batch = _Batch(f"b{seq:04d}-{digest}", total=len(unique))
+        batch.keys = list(unique)
+        with self._batch_lock:
+            self._batches[batch.id] = batch
+        self.bump("batches")
+        thread = threading.Thread(
+            target=self._run_batch, args=(batch, unique), name=f"batch-{batch.id}",
+            daemon=True,
+        )
+        thread.start()
+        return batch
+
+    def get_batch(self, batch_id: str) -> Optional[_Batch]:
+        with self._batch_lock:
+            return self._batches.get(batch_id)
+
+    def _run_batch(self, batch: _Batch, unique: Dict[str, ExperimentSpec]) -> None:
+        """Execute a batch: claim cold keys, run them through a SweepRunner,
+        and wait out keys another process is already computing."""
+        claimed: List[str] = []
+        try:
+            leaders: List[ExperimentSpec] = []
+            waiters: List[Tuple[str, ExperimentSpec]] = []
+            for key, spec in unique.items():
+                if self.store.peek(spec) is not None:
+                    leaders.append(spec)  # warm: runner serves it from the store
+                elif spec.kind == "engine" or self.registry.claim(key):
+                    leaders.append(spec)
+                    if spec.kind != "engine":
+                        claimed.append(key)
+                else:
+                    waiters.append((key, spec))
+
+            def progress(completed: int, total: int, result: RunResult) -> None:
+                key = self.store.cache_key(result.spec)
+                if key in claimed:
+                    self.registry.complete(key, result)
+                    claimed.remove(key)
+                if result.cached:
+                    self.bump("store_served")
+                else:
+                    self.bump("runs_started")
+                    self.bump("runs_completed")
+                batch.record(_point_event(key, result))
+
+            if leaders:
+                runner = SweepRunner(jobs=self.jobs, cache_dir=self.store, progress=progress)
+                runner.run(leaders)
+            for key, spec in waiters:
+                result = self.registry.wait(key, fetch=lambda s=spec: self.store.peek(s))
+                if result is None:
+                    # The other process's leader died: run it ourselves.
+                    result, _ = self.registry.run_or_wait(
+                        key,
+                        compute=lambda s=spec: self._simulate(s),
+                        fetch=lambda s=spec: self.store.peek(s),
+                    )
+                else:
+                    self.bump("dedup_served")
+                batch.record(_point_event(key, result))
+            batch.finish()
+        except Exception as exc:  # surfaced through the progress endpoints
+            for key in claimed:
+                self.registry.fail(key, exc)
+            self.bump("run_errors")
+            batch.finish(error=f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._batch_lock:
+            batches = {
+                "submitted": self.counters["batches"],  # repro: allow[STATKEY] service request counter, produced dynamically via bump()
+                "active": sum(1 for b in self._batches.values() if not b.done),
+            }
+        store = self.store.stats()
+        dedup = self.registry.stats()
+        with self._counter_lock:
+            service = dict(self.counters)
+        return {
+            "uptime_s": time.time() - self.started,
+            "jobs": self.jobs,
+            # Headline counters, flattened for quick scraping.
+            "hits": store["hits"],
+            "misses": store["misses"],
+            "evictions": store["evictions"],
+            "deduped": dedup["deduped"],
+            "store": store,
+            "dedup": dedup,
+            "service": service,
+            "batches": batches,
+        }
+
+
+def _point_event(key: str, result: RunResult) -> Dict[str, Any]:
+    return {
+        "key": key,
+        "kind": result.spec.kind,
+        "config": result.spec.config,
+        "describe": result.spec.describe(),
+        "cached": result.cached,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate.strip('"') == etag:
+            return True
+    return False
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests into the bound :class:`ExperimentService`."""
+
+    service: ExperimentService  # bound by make_server()
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.0"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.service.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(
+        self, code: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(code, body, headers)
+
+    def _send_bytes(
+        self, code: int, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_body(self) -> Optional[Any]:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self._send_error_json(411, "Content-Length required")
+            return None
+        try:
+            raw = self.rfile.read(int(length))
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_error_json(400, "request body is not valid JSON")
+            return None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self.service.bump("requests")
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if url.path in ("/stats", "/stats/"):
+                self._send_json(200, self.service.stats())
+            elif url.path in ("/", "/healthz"):
+                self._send_json(200, {"status": "ok", "uptime_s": time.time() - self.service.started})
+            elif len(parts) == 2 and parts[0] == "result":
+                self._get_result(parts[1])
+            elif len(parts) == 2 and parts[0] == "batch":
+                self._get_batch(parts[1])
+            elif len(parts) == 3 and parts[0] == "batch" and parts[2] == "stream":
+                self._stream_batch(parts[1])
+            else:
+                self._send_error_json(404, f"no such endpoint: GET {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def do_POST(self) -> None:  # noqa: N802
+        self.service.bump("requests")
+        url = urlparse(self.path)
+        try:
+            if url.path in ("/run", "/run/"):
+                self._post_run(url)
+            elif url.path in ("/batch", "/batch/"):
+                self._post_batch()
+            else:
+                self._send_error_json(404, f"no such endpoint: POST {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _get_result(self, key: str) -> None:
+        if not _KEY_RE.match(key):
+            self._send_error_json(400, "result keys are 64 hex characters")
+            return
+        entry = self.service.store.read_entry(key)
+        if entry is not None:
+            data, etag = entry
+            if _etag_matches(self.headers.get("If-None-Match"), etag):
+                self.service.bump("responses_304")
+                self.send_response(304)
+                self.send_header("ETag", f'"{etag}"')
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
+            self._send_bytes(200, data, {"ETag": f'"{etag}"', "Cache-Control": "max-age=0, must-revalidate"})
+            return
+        if self.service.registry.in_flight(key):
+            self._send_json(202, {"status": "running", "key": key})
+            return
+        self._send_error_json(404, f"no result for key {key[:12]}…")
+
+    def _post_run(self, url: Any) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        self.service.bump("run_requests")
+        try:
+            spec = self.service.parse_spec(body)
+        except (SpecError, TaxonomyError, TypeError) as exc:
+            self._send_error_json(400, f"invalid spec: {exc}")
+            return
+        query = parse_qs(url.query)
+        wait = query.get("wait", ["1"])[0].lower() not in ("0", "false", "no")
+        if spec.kind == "engine":
+            # Wall-clock kernel measurements are never stored or deduplicated
+            # (serving a memo would report stale throughput): run inline.
+            if not wait:
+                self._send_error_json(400, "engine (wall-clock) specs cannot run asynchronously")
+                return
+            self.service.bump("runs_started")
+            try:
+                result = run_point(spec)
+            except Exception as exc:
+                self.service.bump("run_errors")
+                self._send_error_json(500, f"simulation failed: {type(exc).__name__}: {exc}")
+                return
+            self.service.bump("runs_completed")
+            self._send_json(200, result.to_dict(), {"X-Repro-Role": "engine"})
+            return
+        if not wait:
+            key = self.service.start_async_run(spec)
+            self._send_json(
+                202,
+                {"status": "running", "key": key, "location": f"/result/{key}"},
+                {"Location": f"/result/{key}"},
+            )
+            return
+        try:
+            key, role = self.service.run_spec(spec)
+        except DedupError as exc:
+            self._send_error_json(503, str(exc))
+            return
+        except Exception as exc:
+            self._send_error_json(500, f"simulation failed: {type(exc).__name__}: {exc}")
+            return
+        entry = self.service.store.read_entry(key)
+        if entry is None:
+            self._send_error_json(503, "result evicted before it could be served; retry")
+            return
+        data, etag = entry
+        self._send_bytes(
+            200, data, {"ETag": f'"{etag}"', "X-Repro-Role": role, "Location": f"/result/{key}"}
+        )
+
+    def _post_batch(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            points = self.service.parse_sweep(body)
+        except (SpecError, TaxonomyError, TypeError) as exc:
+            self._send_error_json(400, f"invalid sweep: {exc}")
+            return
+        if not points:
+            self._send_error_json(400, "batch expands to zero points")
+            return
+        batch = self.service.submit_batch(points)
+        self._send_json(
+            202,
+            {
+                "batch": batch.id,
+                "points": batch.total,
+                "keys": batch.keys,
+                "location": f"/batch/{batch.id}",
+                "stream": f"/batch/{batch.id}/stream",
+            },
+            {"Location": f"/batch/{batch.id}"},
+        )
+
+    def _get_batch(self, batch_id: str) -> None:
+        batch = self.service.get_batch(batch_id)
+        if batch is None:
+            self._send_error_json(404, f"no such batch {batch_id!r}")
+            return
+        self._send_json(200, batch.snapshot())
+
+    def _stream_batch(self, batch_id: str) -> None:
+        batch = self.service.get_batch(batch_id)
+        if batch is None:
+            self._send_error_json(404, f"no such batch {batch_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        sent = 0
+        while True:
+            with batch.cond:
+                while len(batch.events) <= sent and not batch.done:
+                    batch.cond.wait(0.25)
+                events = batch.events[sent:]
+                done = batch.done
+            sent += len(events)
+            for event in events:
+                self.wfile.write(json.dumps(event, sort_keys=True).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if done:
+                self.wfile.write(
+                    json.dumps(
+                        {"done": True, **batch.snapshot()}, sort_keys=True
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                self.wfile.flush()
+                return
+
+
+def make_server(
+    service: ExperimentService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve :class:`ThreadingHTTPServer` bound to ``service``.
+
+    ``port=0`` picks an ephemeral port; read it back from
+    ``server.server_address``.
+    """
+    handler = type("BoundServiceHandler", (ServiceHandler,), {"service": service})
+    # A deep accept backlog: dedup fan-in means hundreds of identical
+    # requests arriving in the same instant is the expected load shape.
+    server_cls = type(
+        "ServiceServer", (ThreadingHTTPServer,), {"request_queue_size": 128}
+    )
+    server = server_cls((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,473 @@
+"""Concurrency-safe content-addressed result store.
+
+:class:`ResultStore` is the serving-grade evolution of
+:class:`repro.api.cache.ResultCache` — same interface (``get``/``put``/
+``stats``/``clear`` keyed by the spec-hash × DEVICE/FABRIC/PROTOCOL
+schema-version key), so a :class:`~repro.api.SweepRunner` accepts either —
+plus the properties a store needs once many processes hammer it:
+
+* **Sharded layout.**  Entries live under two-level fan-out directories
+  (``ab/cd/<key>.json`` for key ``abcd…``), so a store holding hundreds of
+  thousands of results never puts them all in one directory.
+* **Atomic writes.**  Entry and metadata files are written tempfile-first
+  and ``os.replace``\\ d into place: concurrent writers of the same key race
+  safely (each lands a complete entry; last rename wins) and a crashed
+  writer never leaves a torn file.
+* **Per-entry metadata.**  A ``<key>.meta.json`` sidecar records created /
+  last-hit timestamps, a hit counter, the entry's byte size, its strong
+  ETag (sha256 of the entry bytes, computed at write time), and a ``pinned``
+  flag.  Metadata updates are best-effort read-modify-write — a lost
+  last-hit update only makes the LRU ordering approximate, never unsafe.
+* **LRU eviction with a byte budget.**  ``budget_bytes`` caps the store;
+  :meth:`enforce_budget` evicts least-recently-hit entries until under
+  budget.  Pinned (golden) entries are **never** evicted, even if the
+  pinned set alone exceeds the budget.
+* **Key-addressed reads.**  :meth:`read_entry` serves the raw entry bytes
+  plus ETag for a bare key — the HTTP layer's pure read path, which never
+  parses a spec or constructs a Machine.
+* **Legacy adoption.**  A flat ``<kind>-<key>.json`` cache written by
+  :class:`ResultCache` is readable in place; entries migrate to the sharded
+  layout on first hit, so pointing the service at an existing
+  ``.repro-cache`` serves it warm.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.api.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    decode_entry,
+    encode_entry,
+    read_entry,
+    write_entry_atomic,
+)
+from repro.api.results import RunResult
+from repro.api.spec import ExperimentSpec
+
+_META_SUFFIX = ".meta.json"
+
+
+@dataclass
+class EntryInfo:
+    """One store entry as seen by the admin/eviction walks."""
+
+    key: str
+    path: str
+    size: int
+    kind: str = "?"
+    created: float = 0.0
+    last_hit: float = 0.0
+    hits: int = 0
+    pinned: bool = False
+    etag: str = ""
+    #: "ok" | "stale" (old schema/simulator revision) | "corrupt"
+    state: str = "ok"
+    legacy: bool = False
+
+
+class ResultStore(ResultCache):
+    """Sharded, metadata-tracked, budget-evicted result store.
+
+    Parameters
+    ----------
+    directory:
+        Store root.  May point at a legacy flat :class:`ResultCache`
+        directory — its entries are adopted.
+    budget_bytes:
+        Byte budget for LRU eviction, or ``None`` for unbounded.  Workers
+        inside a sweep pass ``None`` and let the owning process enforce the
+        budget once per sweep.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR, budget_bytes: Optional[int] = None):
+        super().__init__(directory)
+        self.budget_bytes = budget_bytes
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for_key(self, key: str) -> str:
+        """Sharded entry path: ``<root>/<k[:2]>/<k[2:4]>/<key>.json``."""
+        return os.path.join(self.directory, key[:2], key[2:4], f"{key}.json")
+
+    def path_for(self, spec: ExperimentSpec) -> str:
+        return self.path_for_key(self.cache_key(spec))
+
+    def meta_path_for_key(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key[2:4], f"{key}{_META_SUFFIX}")
+
+    def _legacy_path(self, key: str) -> Optional[str]:
+        """A flat ``<kind>-<key>.json`` entry left by :class:`ResultCache`."""
+        matches = glob.glob(os.path.join(self.directory, f"*-{key}.json"))
+        return matches[0] if matches else None
+
+    # ------------------------------------------------------------------
+    # The ResultCache interface
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        key = self.cache_key(spec)
+        payload = read_entry(self.path_for_key(key))
+        migrated_from = None
+        if payload is None:
+            legacy = self._legacy_path(key)
+            if legacy is not None:
+                payload = read_entry(legacy)
+                migrated_from = legacy
+        result = decode_entry(payload, spec) if payload is not None else None
+        if result is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        if migrated_from is not None:
+            # Adopt the legacy flat entry into the sharded layout.
+            data = write_entry_atomic(self.path_for_key(key), payload)
+            self._write_meta(key, result.spec.kind, data, preserve=True)
+            try:
+                os.unlink(migrated_from)
+            except OSError:
+                pass
+        self._touch(key)
+        with self._lock:
+            self.hits += 1
+        result.cached = True
+        return result
+
+    def peek(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """Like :meth:`get` but counter- and metadata-neutral.
+
+        Dedup waiters poll this while a leader runs; a poll loop must not
+        inflate miss counters or burn last-hit updates.
+        """
+        key = self.cache_key(spec)
+        payload = read_entry(self.path_for_key(key))
+        if payload is None:
+            legacy = self._legacy_path(key)
+            if legacy is not None:
+                payload = read_entry(legacy)
+        result = decode_entry(payload, spec) if payload is not None else None
+        if result is not None:
+            result.cached = True
+        return result
+
+    def put(self, result: RunResult, pinned: Optional[bool] = None) -> str:
+        key = self.cache_key(result.spec)
+        path = self.path_for_key(key)
+        data = write_entry_atomic(path, encode_entry(result))
+        self._write_meta(key, result.spec.kind, data, preserve=True, pinned=pinned)
+        with self._lock:
+            self.stores += 1
+        if self.budget_bytes is not None:
+            self.enforce_budget()
+        return path
+
+    def clear(self) -> int:
+        """Remove every entry (sharded and legacy flat); returns the count."""
+        removed = 0
+        for info in self.entries(include_invalid=True):
+            try:
+                os.unlink(info.path)
+                removed += 1
+            except OSError:
+                continue
+            self._unlink_meta(info.key)
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        entries, total, pinned = self._usage()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "entries": entries,
+            "bytes": total,
+            "pinned": pinned,
+        }
+
+    # ------------------------------------------------------------------
+    # Key-addressed read path (no spec, no Machine)
+    # ------------------------------------------------------------------
+    def read_entry(self, key: str) -> Optional[Tuple[bytes, str]]:
+        """The raw entry bytes and strong ETag for ``key``, or ``None``.
+
+        This is the serving read path: one file read (plus a best-effort
+        metadata touch), no JSON decode of the result, no spec validation,
+        and definitely no Machine construction.
+        """
+        path = self.path_for_key(key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            legacy = self._legacy_path(key)
+            if legacy is None:
+                return None
+            try:
+                with open(legacy, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                return None
+        meta = read_entry(self.meta_path_for_key(key)) or {}
+        etag = meta.get("etag") or hashlib.sha256(data).hexdigest()
+        self._touch(key)
+        return data, etag
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def read_meta(self, key: str) -> Dict:
+        return read_entry(self.meta_path_for_key(key)) or {}
+
+    def _write_meta(
+        self,
+        key: str,
+        kind: str,
+        data: bytes,
+        preserve: bool = False,
+        pinned: Optional[bool] = None,
+    ) -> None:
+        now = time.time()
+        old = self.read_meta(key) if preserve else {}
+        meta = {
+            "key": key,
+            "kind": kind,
+            "created": old.get("created", now),
+            "last_hit": old.get("last_hit", now),
+            "hits": old.get("hits", 0),
+            "pinned": old.get("pinned", False) if pinned is None else bool(pinned),
+            "size": len(data),
+            "etag": hashlib.sha256(data).hexdigest(),
+        }
+        write_entry_atomic(self.meta_path_for_key(key), meta)
+
+    def _touch(self, key: str) -> None:
+        """Best-effort last-hit bump; losing a racing update is harmless."""
+        path = self.meta_path_for_key(key)
+        meta = read_entry(path)
+        if meta is None:
+            return
+        meta["last_hit"] = time.time()
+        meta["hits"] = int(meta.get("hits", 0)) + 1
+        try:
+            write_entry_atomic(path, meta)
+        except OSError:
+            pass
+
+    def _unlink_meta(self, key: str) -> None:
+        try:
+            os.unlink(self.meta_path_for_key(key))
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self, key: str, pinned: bool = True) -> bool:
+        """Mark the entry as golden (never evicted); False if no such entry."""
+        path = self.path_for_key(key)
+        if not os.path.exists(path):
+            legacy = self._legacy_path(key)
+            if legacy is None:
+                return False
+            # Pins need metadata: adopt the legacy entry first.
+            payload = read_entry(legacy)
+            if payload is None:
+                return False
+            data = write_entry_atomic(path, payload)
+            self._write_meta(key, str(payload.get("spec", {}).get("kind", "?")), data)
+            try:
+                os.unlink(legacy)
+            except OSError:
+                pass
+        meta = self.read_meta(key)
+        if not meta:
+            with open(path, "rb") as handle:
+                self._write_meta(key, "?", handle.read())
+            meta = self.read_meta(key)
+        meta["pinned"] = bool(pinned)
+        write_entry_atomic(self.meta_path_for_key(key), meta)
+        return True
+
+    def resolve_key(self, prefix: str) -> List[str]:
+        """Full keys matching a (possibly abbreviated) hex key prefix."""
+        return sorted(
+            info.key
+            for info in self.entries(include_invalid=True)
+            if info.key.startswith(prefix)
+        )
+
+    # ------------------------------------------------------------------
+    # Walks, eviction, gc
+    # ------------------------------------------------------------------
+    def entries(self, include_invalid: bool = False) -> Iterator[EntryInfo]:
+        """Every entry in the store (sharded and legacy flat).
+
+        With ``include_invalid`` the walk also yields entries classified
+        ``corrupt`` (unreadable/torn JSON) or ``stale`` (written under an
+        old schema or simulator revision); by default only ``ok`` entries.
+        """
+        seen = set()
+        for path in glob.glob(os.path.join(self.directory, "??", "??", "*.json")):
+            name = os.path.basename(path)
+            if name.endswith(_META_SUFFIX):
+                continue
+            key = name[: -len(".json")]
+            seen.add(key)
+            info = self._classify(key, path, legacy=False)
+            if include_invalid or info.state == "ok":
+                yield info
+        for path in glob.glob(os.path.join(self.directory, "*-*.json")):
+            key = os.path.basename(path)[: -len(".json")].rsplit("-", 1)[-1]
+            if key in seen:
+                continue
+            info = self._classify(key, path, legacy=True)
+            if include_invalid or info.state == "ok":
+                yield info
+
+    def _classify(self, key: str, path: str, legacy: bool) -> EntryInfo:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        payload = read_entry(path)
+        result = decode_entry(payload) if payload is not None else None
+        if payload is None:
+            state = "corrupt"
+        elif result is None:
+            # Parsed JSON that does not decode under the live schema: either
+            # the wrong shape entirely (corrupt) or an old-revision entry.
+            try:
+                RunResult.from_dict(payload)
+                state = "stale"
+            except (ValueError, KeyError, TypeError, AttributeError):
+                state = "corrupt"
+        else:
+            state = "ok"
+        meta = self.read_meta(key)
+        mtime = 0.0
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            pass
+        kind = "?"
+        if isinstance(payload, dict):
+            spec = payload.get("spec")
+            if isinstance(spec, dict):
+                kind = str(spec.get("kind", "?"))
+        return EntryInfo(
+            key=key,
+            path=path,
+            size=size,
+            kind=meta.get("kind", kind) if meta else kind,
+            created=float(meta.get("created", mtime)) if meta else mtime,
+            last_hit=float(meta.get("last_hit", mtime)) if meta else mtime,
+            hits=int(meta.get("hits", 0)) if meta else 0,
+            pinned=bool(meta.get("pinned", False)) if meta else False,
+            etag=str(meta.get("etag", "")) if meta else "",
+            state=state,
+            legacy=legacy,
+        )
+
+    def _usage(self) -> Tuple[int, int, int]:
+        entries = total = pinned = 0
+        for info in self.entries(include_invalid=True):
+            entries += 1
+            total += info.size
+            if info.pinned:
+                pinned += 1
+        return entries, total, pinned
+
+    def total_bytes(self) -> int:
+        return self._usage()[1]
+
+    def enforce_budget(self, budget_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-hit unpinned entries until under budget.
+
+        Returns the number of entries evicted.  Pinned entries are never
+        touched: a store whose pinned set exceeds the budget simply stays
+        over budget.
+        """
+        budget = self.budget_bytes if budget_bytes is None else budget_bytes
+        if budget is None:
+            return 0
+        with self._lock:
+            infos = list(self.entries(include_invalid=True))
+            total = sum(info.size for info in infos)
+            if total <= budget:
+                return 0
+            victims = sorted(
+                (info for info in infos if not info.pinned),
+                key=lambda info: info.last_hit,
+            )
+            evicted = 0
+            for info in victims:
+                if total <= budget:
+                    break
+                try:
+                    os.unlink(info.path)
+                except OSError:
+                    continue
+                self._unlink_meta(info.key)
+                total -= info.size
+                evicted += 1
+                self.evicted_bytes += info.size
+            self.evictions += evicted
+            return evicted
+
+    def gc(self, dry_run: bool = False) -> Dict[str, int]:
+        """Prune corrupt and stale-schema entries (plus orphaned sidecars).
+
+        Today those linger as dead files that every reader re-classifies as
+        a miss; gc reclaims them.  Returns a report of what was (or, with
+        ``dry_run``, would be) removed.
+        """
+        report = {"stale": 0, "corrupt": 0, "orphan_meta": 0, "tmp": 0, "bytes": 0}
+        live = set()
+        for info in self.entries(include_invalid=True):
+            if info.state == "ok":
+                live.add(info.key)
+                continue
+            report[info.state] += 1
+            report["bytes"] += info.size
+            if not dry_run:
+                try:
+                    os.unlink(info.path)
+                except OSError:
+                    pass
+                self._unlink_meta(info.key)
+        for path in glob.glob(os.path.join(self.directory, "??", "??", f"*{_META_SUFFIX}")):
+            key = os.path.basename(path)[: -len(_META_SUFFIX)]
+            if key not in live:
+                report["orphan_meta"] += 1
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        for pattern in ("*.tmp", os.path.join("??", "??", "*.tmp")):
+            for path in glob.glob(os.path.join(self.directory, pattern)):
+                report["tmp"] += 1
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultStore {self.directory!r} hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} evictions={self.evictions}>"
+        )

@@ -443,8 +443,11 @@ class TestCli:
             payload2 = json.load(handle)
         # fig6 has 36 points but only 30 unique specs (the alternate panel
         # shares 6 with the memory/io panels); duplicates come from the
-        # runner's in-process history, not the disk cache.
-        assert payload2["cache"] == {"hits": 30, "misses": 0}
+        # runner's in-process history, not the disk cache.  The CLI's memo
+        # is a ResultStore, so the stats carry store counters too.
+        assert payload2["cache"]["hits"] == 30
+        assert payload2["cache"]["misses"] == 0
+        assert payload2["cache"]["entries"] == 30
         assert ResultSet.from_dict(payload2) == results
 
     def test_tables_include_rows_in_json(self, tmp_path, capsys):

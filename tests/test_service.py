@@ -1,0 +1,810 @@
+"""Tests for the experiment service: store, dedup registry, HTTP layer.
+
+Covers the satellite requirements: concurrent same-key writers race safely
+(atomic rename), ≥100 concurrent identical requests run exactly one
+simulation and all receive the same bit-identical result, the warm read
+path serves without constructing a Machine and honours ``If-None-Match``
+with 304, LRU eviction never touches pinned entries, worker cache counters
+aggregate back into the parent runner, and the admin CLI prunes dead
+entries.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ExperimentSpec, ResultCache, RunResult, SweepRunner, run_point
+from repro.api.runner import _run_point_payload
+from repro.service import (
+    DedupError,
+    ExperimentService,
+    InFlightRegistry,
+    ResultStore,
+    make_server,
+)
+from repro.service.admin import main as admin_main
+
+QUICK = dict(
+    kind="latency", device="NI2w", bus="memory",
+    message_bytes=16, iterations=2, warmup=0,
+)
+
+
+def quick_spec(**overrides) -> ExperimentSpec:
+    return ExperimentSpec(**{**QUICK, **overrides})
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(str(tmp_path / "store"))
+
+
+# ---------------------------------------------------------------------------
+# ResultStore
+# ---------------------------------------------------------------------------
+class TestResultStore:
+    def test_round_trip_is_bit_identical(self, store):
+        spec = quick_spec()
+        direct = run_point(spec)
+        store.put(direct)
+        served = store.get(spec)
+        assert served == direct  # spec + exact metrics (equality ignores provenance)
+        assert served.cached
+        assert store.stats()["hits"] == 1
+
+    def test_sharded_two_level_layout(self, store):
+        spec = quick_spec()
+        path = store.put(run_point(spec))
+        key = store.cache_key(spec)
+        assert path.endswith(os.path.join(key[:2], key[2:4], f"{key}.json"))
+        assert os.path.exists(store.meta_path_for_key(key))
+
+    def test_miss_on_empty_store(self, store):
+        assert store.get(quick_spec()) is None
+        assert store.stats()["misses"] == 1
+
+    def test_peek_is_counter_neutral(self, store):
+        spec = quick_spec()
+        assert store.peek(spec) is None
+        store.put(run_point(spec))
+        assert store.peek(spec) is not None
+        stats = store.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_adopts_legacy_flat_cache_entries(self, tmp_path):
+        cache_dir = str(tmp_path / "legacy")
+        spec = quick_spec()
+        legacy = ResultCache(cache_dir)
+        legacy.put(run_point(spec))
+        store = ResultStore(cache_dir)
+        result = store.get(spec)
+        assert result is not None
+        # Migrated into the sharded layout; the flat file is gone.
+        key = store.cache_key(spec)
+        assert os.path.exists(store.path_for_key(key))
+        assert not os.path.exists(legacy.path_for(spec))
+        # read_entry by bare key also finds (unmigrated) legacy entries.
+        legacy.put(run_point(quick_spec(message_bytes=32)))
+        other_key = store.cache_key(quick_spec(message_bytes=32))
+        assert store.read_entry(other_key) is not None
+
+    def test_corrupt_entry_is_a_miss_and_gc_prunes_it(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        with open(store.path_for(spec), "w") as handle:
+            handle.write("{ torn json")
+        assert store.get(spec) is None
+        report = store.gc()
+        assert report["corrupt"] == 1
+        assert not os.path.exists(store.path_for(spec))
+
+    def test_stale_schema_entry_is_a_miss_and_gc_prunes_it(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        path = store.path_for(spec)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["device_schema_version"] = "0.0-ancient"
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert store.get(spec) is None
+        infos = {i.key: i for i in store.entries(include_invalid=True)}
+        assert infos[store.cache_key(spec)].state == "stale"
+        report = store.gc()
+        assert report["stale"] == 1
+
+    def test_gc_dry_run_keeps_files(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        with open(store.path_for(spec), "w") as handle:
+            handle.write("broken")
+        report = store.gc(dry_run=True)
+        assert report["corrupt"] == 1
+        assert os.path.exists(store.path_for(spec))
+
+    def test_lru_eviction_honours_budget_and_pins(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s"))
+        specs = [quick_spec(message_bytes=1 << i) for i in range(3, 8)]
+        results = [run_point(s) for s in specs]
+        for result in results:
+            store.put(result)
+        entry_size = os.path.getsize(store.path_for(specs[0]))
+        # Pin the *oldest* entry — LRU would otherwise evict it first.
+        pinned_key = store.cache_key(specs[0])
+        assert store.pin(pinned_key)
+        # Touch entry 1 so it is the most recently hit.
+        time.sleep(0.01)
+        assert store.get(specs[1]) is not None
+        budget = int(entry_size * 2.5)  # room for ~2 entries
+        evicted = store.enforce_budget(budget)
+        assert evicted >= 2
+        # The pinned entry survived even though it is least-recently-hit.
+        assert store.peek(specs[0]) is not None
+        # The freshly-hit entry survived the LRU pass.
+        assert store.peek(specs[1]) is not None
+        assert store.stats()["evictions"] == evicted
+        assert store.total_bytes() <= budget + entry_size  # pinned overhang allowed
+
+    def test_put_with_budget_evicts_inline(self, tmp_path):
+        spec = quick_spec()
+        size = os.path.getsize(ResultStore(str(tmp_path / "probe")).put(run_point(spec)))
+        store = ResultStore(str(tmp_path / "s"), budget_bytes=int(size * 2.2))
+        for i in range(4):
+            store.put(run_point(quick_spec(message_bytes=8 << i)))
+        assert store.stats()["entries"] <= 2
+
+    def test_pin_unpin_and_prefix_resolution(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        key = store.cache_key(spec)
+        assert store.resolve_key(key[:8]) == [key]
+        assert store.pin(key)
+        assert store.read_meta(key)["pinned"]
+        assert store.pin(key, pinned=False)
+        assert not store.read_meta(key)["pinned"]
+        assert not store.pin("f" * 64)  # unknown key
+
+    def test_clear_removes_sharded_and_legacy(self, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        ResultCache(cache_dir).put(run_point(quick_spec()))
+        store = ResultStore(cache_dir)
+        store.put(run_point(quick_spec(message_bytes=32)))
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+    def test_read_entry_serves_bytes_and_stable_etag(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        key = store.cache_key(spec)
+        data, etag = store.read_entry(key)
+        data2, etag2 = store.read_entry(key)
+        assert data == data2 and etag == etag2
+        assert RunResult.from_dict(json.loads(data)) == run_point(spec)
+        assert store.read_entry("f" * 64) is None
+
+    def test_hit_updates_last_hit_metadata(self, store):
+        spec = quick_spec()
+        store.put(run_point(spec))
+        key = store.cache_key(spec)
+        before = store.read_meta(key)["last_hit"]
+        time.sleep(0.01)
+        store.get(spec)
+        after = store.read_meta(key)
+        assert after["last_hit"] > before
+        assert after["hits"] == 1
+
+
+def _hammer_put(directory: str, spec_dict: dict, rounds: int, barrier) -> None:
+    spec = ExperimentSpec.from_dict(spec_dict)
+    result = run_point(spec)
+    store = ResultStore(directory)
+    barrier.wait()
+    for _ in range(rounds):
+        store.put(result)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_storing_same_key_race_safely(self, tmp_path):
+        """Atomic tempfile+rename: racing same-key writers never tear the
+        entry — every read mid-race returns a complete, valid document."""
+        directory = str(tmp_path / "race")
+        spec = quick_spec()
+        expected = run_point(spec)
+        barrier = multiprocessing.Barrier(3)
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_put, args=(directory, spec.to_dict(), 60, barrier)
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        barrier.wait()
+        reader = ResultStore(directory)
+        observed = 0
+        while any(p.is_alive() for p in procs):
+            result = reader.peek(spec)
+            if result is not None:
+                assert result == expected
+                observed += 1
+        for proc in procs:
+            proc.join()
+            assert proc.exitcode == 0
+        assert observed > 0
+        assert reader.get(spec) == expected
+        assert reader.stats()["entries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# InFlightRegistry
+# ---------------------------------------------------------------------------
+class TestInFlightRegistry:
+    def test_hundred_waiters_one_compute(self, tmp_path):
+        registry = InFlightRegistry(str(tmp_path / "inflight"))
+        spec = quick_spec()
+        expected = run_point(spec)
+        calls = []
+        gate = threading.Event()
+        box = {}
+
+        def compute():
+            calls.append(threading.get_ident())
+            gate.wait(10)
+            box["result"] = expected
+            return expected
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    registry.run_or_wait(
+                        "a" * 64, compute, fetch=lambda: box.get("result")
+                    )
+                )
+            )
+            for _ in range(100)
+        ]
+        for thread in threads:
+            thread.start()
+        # Release the leader only once every thread has entered the registry.
+        deadline = time.time() + 10
+        while registry.stats()["deduped"] < 99 and time.time() < deadline:
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(15)
+        assert len(calls) == 1, "exactly one simulation across 100 waiters"
+        assert len(results) == 100
+        values, roles = zip(*results)
+        assert all(v == expected for v in values)
+        assert roles.count("leader") == 1
+        stats = registry.stats()
+        assert stats["leaders"] == 1
+        assert stats["deduped"] == 99
+        assert stats["in_flight"] == 0
+        # The done-marker protocol left its marker and released the lock.
+        assert os.path.exists(registry._done_path("a" * 64))
+        assert not os.path.exists(registry._lock_path("a" * 64))
+
+    def test_leader_failure_propagates_to_followers(self, tmp_path):
+        registry = InFlightRegistry(str(tmp_path / "inflight"))
+        started = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            started.set()
+            release.wait(10)
+            raise RuntimeError("simulated crash")
+
+        errors = []
+
+        def leader():
+            try:
+                registry.run_or_wait("b" * 64, compute, fetch=lambda: None)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def follower():
+            try:
+                registry.run_or_wait("b" * 64, compute, fetch=lambda: None)
+            except (DedupError, RuntimeError) as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        started.wait(10)
+        t2 = threading.Thread(target=follower)
+        t2.start()
+        while registry.stats()["followers"] < 1:
+            time.sleep(0.005)
+        release.set()
+        t1.join(10)
+        t2.join(10)
+        assert len(errors) == 2
+        assert os.path.exists(registry._fail_path("b" * 64))
+
+    def test_stale_lock_from_dead_pid_is_broken(self, tmp_path):
+        directory = str(tmp_path / "inflight")
+        registry = InFlightRegistry(directory)
+        os.makedirs(directory, exist_ok=True)
+        # A lock owned by a pid that cannot exist anymore on this host.
+        with open(registry._lock_path("c" * 64), "w") as handle:
+            json.dump(
+                {"pid": 2**22 + 1, "host": os.uname().nodename, "created": time.time()},
+                handle,
+            )
+        assert registry.claim("c" * 64)
+        assert registry.stats()["lock_breaks"] == 1
+
+    def test_fresh_foreign_lock_is_respected(self, tmp_path):
+        directory = str(tmp_path / "inflight")
+        registry = InFlightRegistry(directory)
+        os.makedirs(directory, exist_ok=True)
+        with open(registry._lock_path("d" * 64), "w") as handle:
+            json.dump(
+                {"pid": os.getpid(), "host": os.uname().nodename, "created": time.time()},
+                handle,
+            )
+        assert not registry.claim("d" * 64)
+
+
+def _process_contender(directory: str, key: str, barrier, queue) -> None:
+    registry = InFlightRegistry(directory)
+    barrier.wait()
+    queue.put(("leader" if registry.claim(key) else "follower", os.getpid()))
+
+
+class TestCrossProcessDedup:
+    def test_exactly_one_process_claims_the_lock(self, tmp_path):
+        directory = str(tmp_path / "inflight")
+        key = "e" * 64
+        barrier = multiprocessing.Barrier(4)
+        queue: multiprocessing.Queue = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_process_contender, args=(directory, key, barrier, queue)
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        outcomes = [queue.get(timeout=30) for _ in procs]
+        for proc in procs:
+            proc.join()
+        roles = [role for role, _ in outcomes]
+        assert roles.count("leader") == 1
+        assert roles.count("follower") == 3
+
+    def test_remote_waiter_fetches_after_lock_release(self, tmp_path):
+        """A waiter in one process observes the other process's completion
+        through the lock-file + done-marker protocol and the shared store."""
+        store_dir = str(tmp_path / "store")
+        inflight = os.path.join(store_dir, ".inflight")
+        spec = quick_spec()
+        store = ResultStore(store_dir)
+        key = store.cache_key(spec)
+
+        reg_a = InFlightRegistry(inflight, poll_interval=0.01)
+        assert reg_a.claim(key)  # "the other process" holds the lock
+
+        reg_b = InFlightRegistry(inflight, poll_interval=0.01)
+        got = {}
+
+        def waiter():
+            got["result"], got["role"] = reg_b.run_or_wait(
+                key,
+                compute=lambda: pytest.fail("waiter must not simulate"),
+                fetch=lambda: store.peek(spec),
+            )
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        result = run_point(spec)
+        store.put(result)
+        reg_a.complete(key, result)
+        thread.join(10)
+        assert got["result"] == result
+        assert got["role"] == "remote"
+        assert reg_b.stats()["remote_followers"] == 1
+
+
+# ---------------------------------------------------------------------------
+# HTTP service
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def service(tmp_path):
+    svc = ExperimentService(ResultStore(str(tmp_path / "store")), jobs=1)
+    server = make_server(svc)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    svc.base_url = f"http://{host}:{port}"
+    try:
+        yield svc
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _request(
+    url: str,
+    data: bytes = None,
+    headers: dict = None,
+    method: str = None,
+):
+    """(status, headers, body) — 4xx/3xx returned, not raised."""
+    req = urllib.request.Request(url, data=data, headers=headers or {}, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+class TestHttpService:
+    def test_post_run_cold_then_warm(self, service):
+        spec = quick_spec()
+        body = json.dumps(spec.to_dict()).encode()
+        status, headers, payload = _request(service.base_url + "/run", data=body)
+        assert status == 200
+        assert headers["X-Repro-Role"] == "leader"
+        served = RunResult.from_dict(json.loads(payload))
+        assert served == run_point(spec)  # bit-identical to a direct run
+        status2, headers2, payload2 = _request(service.base_url + "/run", data=body)
+        assert status2 == 200
+        assert headers2["X-Repro-Role"] == "store"
+        assert payload2 == payload
+        assert service.counters["runs_completed"] == 1
+        assert service.counters["store_served"] == 1
+
+    def test_post_run_accepts_wrapped_spec(self, service):
+        body = json.dumps({"spec": quick_spec().to_dict()}).encode()
+        status, _, _ = _request(service.base_url + "/run", data=body)
+        assert status == 200
+
+    def test_post_run_invalid_spec_is_400(self, service):
+        for bad in (
+            {"kind": "nope"},
+            {"device": "NOT-A-DEVICE"},
+            {"unknown_field": 1},
+        ):
+            status, _, payload = _request(
+                service.base_url + "/run", data=json.dumps(bad).encode()
+            )
+            assert status == 400, payload
+            assert b"invalid spec" in payload
+
+    def test_post_run_non_json_body_is_400(self, service):
+        status, _, _ = _request(service.base_url + "/run", data=b"not json {")
+        assert status == 400
+
+    def test_get_result_warm_serves_without_machine(self, service, monkeypatch):
+        spec = quick_spec()
+        _request(service.base_url + "/run", data=json.dumps(spec.to_dict()).encode())
+        key = service.store.cache_key(spec)
+
+        # The pure read path: any Machine construction would blow up here.
+        import repro.node.machine as machine_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("read path constructed a Machine")
+
+        monkeypatch.setattr(machine_mod.Machine, "__init__", boom)
+
+        status, headers, payload = _request(service.base_url + f"/result/{key}")
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+
+        # Strong ETag honoured: If-None-Match -> 304, no body.
+        status304, headers304, body304 = _request(
+            service.base_url + f"/result/{key}", headers={"If-None-Match": etag}
+        )
+        assert status304 == 304
+        assert body304 == b""
+        assert headers304["ETag"] == etag
+        # A stale validator misses.
+        status200, _, _ = _request(
+            service.base_url + f"/result/{key}", headers={"If-None-Match": '"nope"'}
+        )
+        assert status200 == 200
+        assert service.counters["responses_304"] == 1
+
+    def test_get_result_unknown_is_404_and_bad_key_400(self, service):
+        status, _, _ = _request(service.base_url + "/result/" + "0" * 64)
+        assert status == 404
+        status, _, _ = _request(service.base_url + "/result/shorty")
+        assert status == 400
+
+    def test_get_result_in_flight_is_202(self, service):
+        spec = quick_spec(message_bytes=24)
+        key = service.store.cache_key(spec)
+        assert service.registry.claim(key)
+        try:
+            status, _, payload = _request(service.base_url + f"/result/{key}")
+            assert status == 202
+            assert json.loads(payload)["status"] == "running"
+        finally:
+            service.registry.complete(key)
+
+    def test_post_run_async_returns_202_then_polls_to_200(self, service):
+        spec = quick_spec(message_bytes=48)
+        status, headers, payload = _request(
+            service.base_url + "/run?wait=0", data=json.dumps(spec.to_dict()).encode()
+        )
+        assert status == 202
+        location = json.loads(payload)["location"]
+        assert headers["Location"] == location
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            status, _, payload = _request(service.base_url + location)
+            if status == 200:
+                break
+            assert status == 202
+            time.sleep(0.02)
+        assert status == 200
+        assert RunResult.from_dict(json.loads(payload)) == run_point(spec)
+
+    def test_unknown_endpoints_404(self, service):
+        assert _request(service.base_url + "/nope")[0] == 404
+        assert _request(service.base_url + "/nope", data=b"{}")[0] == 404
+
+    def test_healthz_and_stats_shape(self, service):
+        assert _request(service.base_url + "/healthz")[0] == 200
+        status, _, payload = _request(service.base_url + "/stats")
+        assert status == 200
+        stats = json.loads(payload)
+        for headline in ("hits", "misses", "evictions", "deduped"):
+            assert headline in stats
+        assert set(stats["dedup"]) >= {"leaders", "followers", "in_flight"}
+        assert set(stats["store"]) >= {"entries", "bytes", "stores"}
+        assert stats["uptime_s"] >= 0
+
+    def test_batch_endpoint_runs_and_streams_progress(self, service):
+        sweep = {
+            "base": dict(QUICK),
+            "axes": {"message_bytes": [8, 16, 32]},
+        }
+        status, _, payload = _request(
+            service.base_url + "/batch", data=json.dumps(sweep).encode()
+        )
+        assert status == 202
+        submitted = json.loads(payload)
+        assert submitted["points"] == 3
+        assert len(submitted["keys"]) == 3
+
+        # The stream endpoint emits one NDJSON line per point, then a
+        # done record.
+        status, headers, body = _request(service.base_url + submitted["stream"])
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(line) for line in body.decode().strip().splitlines()]
+        assert len(lines) == 4
+        assert [line["completed"] for line in lines[:3]] == [1, 2, 3]
+        assert lines[-1]["done"] is True and lines[-1]["error"] is None
+
+        status, _, payload = _request(service.base_url + submitted["location"])
+        progress = json.loads(payload)
+        assert progress["done"] and progress["completed"] == 3
+        # Every point landed in the store.
+        for key in submitted["keys"]:
+            assert service.store.read_entry(key) is not None
+
+    def test_batch_explicit_point_list_and_dedup_of_duplicates(self, service):
+        points = [quick_spec().to_dict(), quick_spec().to_dict()]
+        status, _, payload = _request(
+            service.base_url + "/batch", data=json.dumps(points).encode()
+        )
+        assert status == 202
+        assert json.loads(payload)["points"] == 1  # duplicates collapse
+
+    def test_batch_invalid_sweep_is_400(self, service):
+        status, _, _ = _request(
+            service.base_url + "/batch",
+            data=json.dumps({"base": {"kind": "nope"}}).encode(),
+        )
+        assert status == 400
+        status, _, _ = _request(service.base_url + "/batch", data=b'"a string"')
+        assert status == 400
+
+    def test_unknown_batch_is_404(self, service):
+        assert _request(service.base_url + "/batch/bogus")[0] == 404
+        assert _request(service.base_url + "/batch/bogus/stream")[0] == 404
+
+
+class TestHttpDedupFanIn:
+    N = 100
+
+    def test_hundred_concurrent_identical_runs_simulate_once(
+        self, service, monkeypatch
+    ):
+        """The acceptance gate: ≥100 concurrent identical ``POST /run``
+        requests trigger exactly one simulation, every response carries the
+        same bit-identical RunResult, and the dedup counters account for
+        the other 99."""
+        spec = quick_spec(message_bytes=128)
+        expected = run_point(spec)
+        gate = threading.Event()
+        calls = []
+
+        def slow_run_point(s):
+            calls.append(s.spec_hash())
+            assert gate.wait(30), "test gate never released"
+            return expected
+
+        import repro.service.http as service_http
+
+        monkeypatch.setattr(service_http, "run_point", slow_run_point)
+
+        body = json.dumps(spec.to_dict()).encode()
+        responses = [None] * self.N
+
+        def client(index):
+            responses[index] = _request(service.base_url + "/run", data=body)
+
+        threads = [
+            threading.Thread(target=client, args=(index,)) for index in range(self.N)
+        ]
+        for thread in threads:
+            thread.start()
+        # Hold the one simulation until all N requests are in flight, so
+        # the fan-in is deterministic, then let it finish.
+        deadline = time.time() + 30
+        while service.counters["run_requests"] < self.N and time.time() < deadline:
+            time.sleep(0.005)
+        assert service.counters["run_requests"] == self.N
+        gate.set()
+        for thread in threads:
+            thread.join(60)
+
+        assert len(calls) == 1, "exactly one simulation for 100 identical requests"
+        statuses = {status for status, _, _ in responses}
+        assert statuses == {200}
+        bodies = {body for _, _, body in responses}
+        assert len(bodies) == 1, "all 100 responses are bit-identical"
+        assert RunResult.from_dict(json.loads(bodies.pop())) == expected
+        roles = [headers["X-Repro-Role"] for _, headers, _ in responses]
+        assert roles.count("leader") == 1
+        stats = service.stats()
+        assert stats["deduped"] + stats["service"]["dedup_served"] >= self.N - 1
+        assert stats["dedup"]["leaders"] == 1
+        assert stats["service"]["runs_completed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Worker cache-counter aggregation (SweepRunner --jobs)
+# ---------------------------------------------------------------------------
+class TestWorkerCacheAggregation:
+    def sweep(self):
+        return [quick_spec(message_bytes=size) for size in (8, 16, 32, 64)]
+
+    def test_parallel_counters_match_serial(self, tmp_path):
+        cold = SweepRunner(jobs=2, cache_dir=ResultStore(str(tmp_path / "s")))
+        results = cold.run(self.sweep())
+        stats = cold.cache_stats()
+        # Workers wrote the entries; their counters flowed back to the parent.
+        assert stats["misses"] == 4 and stats["hits"] == 0
+        assert stats["stores"] == 4
+        assert results.cache_stats == stats
+
+        warm = SweepRunner(jobs=2, cache_dir=ResultStore(str(tmp_path / "s")))
+        again = warm.run(self.sweep())
+        assert warm.cache_stats()["hits"] == 4
+        assert again == results
+
+    def test_plain_cache_parallel_keeps_two_key_stats(self, tmp_path):
+        runner = SweepRunner(jobs=2, cache_dir=str(tmp_path / "flat"))
+        runner.run(self.sweep())
+        assert runner.cache_stats() == {"hits": 0, "misses": 4}
+
+    def test_worker_reports_cross_process_fill_as_hit(self, tmp_path):
+        """A point another process finished after the parent's pre-check is
+        served by the worker (1 hit, 0 stores) — the parent reclassifies
+        its provisional miss."""
+        directory = str(tmp_path / "s")
+        spec = quick_spec()
+        ResultStore(directory).put(run_point(spec))
+        out = _run_point_payload(
+            {"spec": spec.to_dict(), "cache": {"directory": directory, "sharded": True}}
+        )
+        assert out["cache"] == {"hits": 1, "stores": 0}
+        assert RunResult.from_dict(out["result"]).cached
+
+        store = ResultStore(directory)
+        store.misses += 1  # the parent's provisional pre-check miss
+        store.hits += out["cache"]["hits"]
+        store.misses -= out["cache"]["hits"]
+        assert store.stats()["hits"] == 1 and store.stats()["misses"] == 0
+
+    def test_worker_without_cache_runs_plain(self):
+        out = _run_point_payload({"spec": quick_spec().to_dict(), "cache": None})
+        assert out["cache"] == {"hits": 0, "stores": 0}
+        assert not RunResult.from_dict(out["result"]).cached
+
+    def test_cache_stats_survive_resultset_json(self, tmp_path):
+        runner = SweepRunner(cache_dir=ResultStore(str(tmp_path / "s")))
+        results = runner.run([quick_spec()])
+        from repro.api import ResultSet
+
+        reloaded = ResultSet.from_json(results.to_json())
+        assert reloaded.cache_stats == results.cache_stats
+        assert reloaded.cache_stats["stores"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Admin CLI
+# ---------------------------------------------------------------------------
+class TestAdminCli:
+    def populate(self, directory):
+        store = ResultStore(directory)
+        specs = [quick_spec(message_bytes=size) for size in (8, 16)]
+        for spec in specs:
+            store.put(run_point(spec))
+        return store, specs
+
+    def test_stats_reports_entries(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self.populate(directory)
+        assert admin_main(["--dir", directory, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert admin_main(["--dir", directory, "stats", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 2 and report["states"]["ok"] == 2
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        store, specs = self.populate(directory)
+        assert admin_main(["--dir", directory, "ls"]) == 0
+        out = capsys.readouterr().out
+        assert store.cache_key(specs[0])[:16] in out
+
+    def test_gc_prunes_corrupt(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        store, specs = self.populate(directory)
+        with open(store.path_for(specs[0]), "w") as handle:
+            handle.write("junk")
+        assert admin_main(["--dir", directory, "gc"]) == 0
+        assert "1 corrupt" in capsys.readouterr().out
+        assert ResultStore(directory).stats()["entries"] == 1
+
+    def test_gc_max_bytes_evicts(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self.populate(directory)
+        assert admin_main(["--dir", directory, "gc", "--max-bytes", "10"]) == 0
+        assert ResultStore(directory).stats()["entries"] == 0
+
+    def test_pin_by_prefix_then_unpin(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        store, specs = self.populate(directory)
+        key = store.cache_key(specs[0])
+        assert admin_main(["--dir", directory, "pin", key[:10]]) == 0
+        assert ResultStore(directory).read_meta(key)["pinned"]
+        # Pinned entries survive a forced full eviction.
+        assert admin_main(["--dir", directory, "gc", "--max-bytes", "0"]) == 0
+        assert ResultStore(directory).read_meta(key)["pinned"]
+        assert ResultStore(directory).peek(specs[0]) is not None
+        assert admin_main(["--dir", directory, "unpin", key[:10]]) == 0
+        assert not ResultStore(directory).read_meta(key)["pinned"]
+
+    def test_pin_unknown_prefix_fails(self, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        self.populate(directory)
+        assert admin_main(["--dir", directory, "pin", "ffff"]) == 1
+
+    def test_run_py_dispatches_cache_subcommand(self, tmp_path, capsys):
+        from repro.experiments.run import main as run_main
+
+        directory = str(tmp_path / "s")
+        self.populate(directory)
+        assert run_main(["cache", "--dir", directory, "stats"]) == 0
+        assert "2 entries" in capsys.readouterr().out
