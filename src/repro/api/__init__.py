@@ -28,9 +28,11 @@ from repro.api.presets import (
     FAMILY_CONFIGS,
     MACRO_TRIO,
     SCALABILITY_FABRICS,
+    FAULT_PLANS,
     SCALABILITY_NODE_COUNTS,
     SHIPPED_PROTOCOLS,
     bandwidth_sweep,
+    fault_sweep,
     device_space_sweep,
     engine_sweep,
     latency_sweep,
@@ -43,7 +45,7 @@ from repro.api.presets import (
     speedups,
 )
 from repro.api.results import ResultSet, RunResult
-from repro.api.runner import SweepRunner, run_point
+from repro.api.runner import SweepFailure, SweepRunner, run_point, run_point_guarded
 from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
 
 __all__ = [
@@ -53,18 +55,22 @@ __all__ = [
     "RunResult",
     "ResultSet",
     "ResultCache",
+    "SweepFailure",
     "SweepRunner",
     "run_point",
+    "run_point_guarded",
     "latency_sweep",
     "bandwidth_sweep",
     "macro_sweep",
     "engine_sweep",
+    "fault_sweep",
     "device_space_sweep",
     "scalability_sweep",
     "protocol_sweep",
     "network_sensitivity_sweep",
     "DEVICE_FAMILIES",
     "FAMILY_CONFIGS",
+    "FAULT_PLANS",
     "MACRO_TRIO",
     "SCALABILITY_FABRICS",
     "SCALABILITY_NODE_COUNTS",

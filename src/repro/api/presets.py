@@ -328,6 +328,66 @@ def network_sensitivity_sweep(
     return SweepSpec.explicit(points, name=name)
 
 
+#: Fault plans the chaos presets sweep by default: the paper-faithful
+#: fault-free baseline plus the canonical 1 %-drop + reorder plan.
+FAULT_PLANS: Tuple[str, ...] = ("zero", "lossy1")
+
+
+def fault_sweep(
+    workloads: Sequence[str] = ("gauss",),
+    configs: Sequence[Tuple[str, str]] = (("CNI4Q", "memory"),),
+    plans: Sequence[str] = FAULT_PLANS,
+    seeds: Sequence[int] = (0,),
+    fabric: str = "mesh",
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "faults",
+) -> SweepSpec:
+    """Fault-parameterized macro sweep: workloads × configs × plans × seeds.
+
+    Every point runs on a real topology (``fabric``, default mesh — fault
+    injection on the ideal fabric exercises nothing interesting) with the
+    named fault plan and seed.  Lossy plans automatically enable the
+    reliable messaging layer so the workload can complete through
+    retransmission; non-lossy plans (``zero``, ``jitter``) leave it off,
+    keeping their results directly comparable to fault-free goldens.
+    """
+    from repro.faults import resolve_plan
+
+    per_workload = dict(workload_kwargs or {})
+    base_params = dict(params or {})
+    points: List[ExperimentSpec] = []
+    for plan in plans:
+        lossy = resolve_plan(plan).is_lossy()
+        for seed in seeds:
+            point_params = {
+                **base_params,
+                "fabric": fabric,
+                "faults": plan,
+                "fault_seed": seed,
+            }
+            if lossy:
+                point_params["reliable_messaging"] = True
+            for workload in workloads:
+                kwargs = dict(per_workload.get(workload, {}))
+                for device, bus in configs:
+                    points.append(
+                        ExperimentSpec(
+                            kind="macro",
+                            device=device,
+                            bus=bus,
+                            num_nodes=num_nodes,
+                            workload=workload,
+                            scale=scale,
+                            workload_kwargs=kwargs,
+                            params=point_params,
+                        )
+                    )
+    return SweepSpec.explicit(points, name=name)
+
+
 #: Coherence protocols the kit ships (see :mod:`repro.coherence.protocols`):
 #: the paper's MOESI baseline, the classic invalidate family, and the
 #: home-node directory variant.  Plugin tables join a sweep by passing an

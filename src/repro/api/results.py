@@ -35,12 +35,24 @@ class RunResult:
     :data:`PRIMARY_METRIC` for the headline key per kind).  ``elapsed_s``
     and ``cached`` describe *how* the result was obtained and are excluded
     from equality, hashing and the cache key.
+
+    ``error`` is set (and ``metrics`` left empty) when the point could not
+    be computed — the worker crashed, timed out, or the simulation raised —
+    and every retry was exhausted.  Failed results flow through sweeps and
+    batches like any other point so one sick spec cannot wedge its
+    siblings, but they are never written to the result cache.
     """
 
     spec: ExperimentSpec
     metrics: Dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
     cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point actually produced metrics."""
+        return self.error is None
 
     @property
     def value(self) -> float:
@@ -53,15 +65,24 @@ class RunResult:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunResult):
             return NotImplemented
-        return self.spec == other.spec and self.metrics == other.metrics
+        return (
+            self.spec == other.spec
+            and self.metrics == other.metrics
+            and self.error == other.error
+        )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "metrics": dict(self.metrics),
             "elapsed_s": self.elapsed_s,
             "cached": self.cached,
         }
+        if self.error is not None:
+            # Only failed results carry the key, so documents written before
+            # the field existed round-trip byte-identically.
+            out["error"] = self.error
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -70,6 +91,7 @@ class RunResult:
             metrics=dict(data.get("metrics", {})),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             cached=bool(data.get("cached", False)),
+            error=data.get("error"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -80,6 +102,8 @@ class RunResult:
         return cls.from_dict(json.loads(text))
 
     def __repr__(self) -> str:
+        if self.error is not None:
+            return f"<RunResult {self.spec.describe()} FAILED: {self.error}>"
         return f"<RunResult {self.spec.describe()} value={self.value:.4g}>"
 
 

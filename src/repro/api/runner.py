@@ -117,12 +117,25 @@ def _run_macro(spec: ExperimentSpec) -> Dict[str, float]:
         workload_kwargs=workload_kwargs,
         **overrides,
     )
-    return {
+    metrics = {
         "cycles": float(result.cycles),
         "memory_bus_occupancy": float(result.memory_bus_occupancy),
         "io_bus_occupancy": float(result.io_bus_occupancy),
         "network_messages": float(result.network_messages),
     }
+    if result.fault_stats:
+        # Only fault-plan runs grow these keys, so fault-free results (and
+        # their cache entries / goldens) are byte-identical to before the
+        # fault layer existed.
+        for key, value in result.fault_stats.items():
+            if key in ("plan", "seed"):
+                continue  # spec inputs, not measurements
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"fault_{key}"] = float(value)
+        recovery = result.fault_stats.get("recovery_latency")
+        if isinstance(recovery, dict):
+            metrics["fault_recovery_p95"] = float(recovery.get("p95", 0.0))
+    return metrics
 
 
 def _run_engine(spec: ExperimentSpec) -> Dict[str, float]:
@@ -204,6 +217,133 @@ def _run_point_indexed(item: Tuple[int, Dict[str, Any]]) -> Tuple[int, Dict[str,
     return index, _run_point_payload(payload)
 
 
+class SweepFailure(RuntimeError):
+    """A point failed under ``fail_fast``; carries the failed result."""
+
+    def __init__(self, result: RunResult):
+        super().__init__(f"{result.spec.describe()}: {result.error}")
+        self.result = result
+
+
+def _guarded_child(conn: Any, payload: Dict[str, Any]) -> None:
+    """Child-process entry for guarded execution: ship outcome over a pipe.
+
+    Any exception (including simulator hangs surfaced as errors) comes back
+    as ``("error", message)`` instead of a traceback on stderr and a
+    nonzero exit the parent has to guess about.  A child that dies without
+    sending anything (segfault, ``os._exit``, OOM-kill) is diagnosed from
+    its exit code by the parent.
+    """
+    try:
+        out = _run_point_payload(payload)
+        conn.send(("ok", out))
+    except BaseException as exc:  # noqa: BLE001 — the pipe is the report
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class _GuardedPoint:
+    """One in-flight guarded child process."""
+
+    __slots__ = ("index", "proc", "conn", "deadline")
+
+    def __init__(self, index: int, proc: Any, conn: Any, deadline: Optional[float]):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+def _spawn_guarded(
+    index: int,
+    spec: ExperimentSpec,
+    cache_desc: Optional[Dict[str, Any]],
+    timeout_s: Optional[float],
+) -> _GuardedPoint:
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_guarded_child,
+        args=(child_conn, {"spec": spec.to_dict(), "cache": cache_desc}),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    return _GuardedPoint(index, proc, parent_conn, deadline)
+
+
+def _reap_guarded(point: _GuardedPoint, kill: bool = False) -> None:
+    """Shut a guarded child down hard and release its pipe."""
+    try:
+        if kill and point.proc.is_alive():
+            point.proc.terminate()
+            point.proc.join(1.0)
+            if point.proc.is_alive():
+                point.proc.kill()
+        point.proc.join(1.0)
+    except (OSError, ValueError):
+        pass
+    try:
+        point.conn.close()
+    except OSError:
+        pass
+
+
+def run_point_guarded(
+    spec: ExperimentSpec,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.25,
+    cache_desc: Optional[Dict[str, Any]] = None,
+) -> Tuple[RunResult, Optional[Dict[str, int]]]:
+    """Run one point in a disposable child process, with timeout and retry.
+
+    The contract :class:`SweepRunner`'s robustness options and the HTTP
+    service's per-request timeout build on: the child either returns a
+    result, raises (error comes back over the pipe), crashes (diagnosed
+    from the exit code) or overruns ``timeout_s`` (killed).  Failures are
+    retried up to ``max_retries`` times with exponential backoff; the final
+    failure is reported as a :class:`RunResult` with ``error`` set — never
+    an exception — so one sick point cannot take down a sweep.
+
+    Returns ``(result, worker_cache_stats)``; the stats are ``None`` when
+    the point failed (a failed point writes nothing to any cache).
+    """
+    spec = spec.validate()
+    attempts = 0
+    error = "unknown failure"
+    while attempts <= max_retries:
+        if attempts:
+            time.sleep(retry_backoff_s * (2 ** (attempts - 1)))
+        attempts += 1
+        point = _spawn_guarded(0, spec, cache_desc, timeout_s)
+        try:
+            budget = None if point.deadline is None else max(0.0, point.deadline - time.monotonic())
+            if point.conn.poll(budget):
+                try:
+                    status, payload = point.conn.recv()
+                except (EOFError, OSError):
+                    status, payload = "error", f"worker crashed (exit code {point.proc.exitcode})"
+                if status == "ok":
+                    return RunResult.from_dict(payload["result"]), payload["cache"]
+                error = str(payload)
+            elif point.proc.is_alive():
+                error = f"point timed out after {timeout_s:g}s"
+            else:
+                error = f"worker crashed (exit code {point.proc.exitcode})"
+        finally:
+            _reap_guarded(point, kill=True)
+    return (
+        RunResult(spec=spec, error=f"{error} (attempts={attempts})"),
+        None,
+    )
+
+
 class SweepRunner:
     """Runs sweeps of experiment points, serially or in parallel.
 
@@ -217,6 +357,17 @@ class SweepRunner:
     progress:
         Optional ``(completed, total, result)`` callback, invoked once per
         unique point as its result becomes available.
+    point_timeout_s:
+        Wall-clock budget per point.  Setting it (or ``max_retries``)
+        switches execution to *guarded* mode: every point runs in a
+        disposable child process that is killed on overrun, so a hung
+        simulation costs one point, not the sweep.
+    max_retries:
+        How many times a crashed/timed-out/raising point is re-run before
+        it is recorded as failed (``RunResult.error``).
+    fail_fast:
+        Raise :class:`SweepFailure` on the first failed point instead of
+        carrying it in the result set.
     """
 
     def __init__(
@@ -224,9 +375,17 @@ class SweepRunner:
         jobs: int = 1,
         cache_dir: Optional[Union[str, ResultCache]] = None,
         progress: Optional[ProgressFn] = None,
+        point_timeout_s: Optional[float] = None,
+        max_retries: int = 0,
+        fail_fast: bool = False,
+        retry_backoff_s: float = 0.25,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError("point_timeout_s must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.jobs = jobs
         if isinstance(cache_dir, ResultCache):
             self.cache: Optional[ResultCache] = cache_dir
@@ -235,8 +394,19 @@ class SweepRunner:
         else:
             self.cache = None
         self.progress = progress
+        self.point_timeout_s = point_timeout_s
+        self.max_retries = max_retries
+        self.fail_fast = fail_fast
+        self.retry_backoff_s = retry_backoff_s
+        #: Failed points recorded across this runner's lifetime.
+        self.failures = 0
         #: Every result produced through this runner, in completion order.
         self.history = ResultSet()
+
+    @property
+    def guarded(self) -> bool:
+        """Whether points run in disposable child processes."""
+        return self.point_timeout_s is not None or self.max_retries > 0
 
     # ------------------------------------------------------------------
     def run(
@@ -283,13 +453,19 @@ class SweepRunner:
             if self.progress is not None:
                 self.progress(completed, total, result)
 
-        if self.jobs > 1 and len(pending) > 1:
+        if self.guarded and pending:
+            completions = self._run_guarded(pending)
+        elif self.jobs > 1 and len(pending) > 1:
             completions = self._run_parallel(pending)
         else:
             completions = ((spec, run_point(spec), None) for spec in pending)
         for spec, result, worker_stats in completions:
             resolved[spec.spec_hash()] = result
-            if self.cache is not None and spec.kind != "engine":
+            if result.error is not None:
+                # Failed points are carried, never cached: a later run must
+                # recompute them rather than be served the failure.
+                self.failures += 1
+            elif self.cache is not None and spec.kind != "engine":
                 if worker_stats is None:
                     # Serial execution: this process writes the entry.
                     self.cache.put(result)
@@ -305,6 +481,8 @@ class SweepRunner:
             completed += 1
             if self.progress is not None:
                 self.progress(completed, total, result)
+            if result.error is not None and self.fail_fast:
+                raise SweepFailure(result)
 
         if self.cache is not None and hasattr(self.cache, "enforce_budget"):
             # Parallel workers never evict; settle the store's byte budget
@@ -376,6 +554,92 @@ class SweepRunner:
                     RunResult.from_dict(data["result"]),
                     data["cache"],
                 )
+
+    def _run_guarded(
+        self, pending: Sequence[ExperimentSpec]
+    ) -> Iterator[Tuple[ExperimentSpec, RunResult, Optional[Dict[str, int]]]]:
+        """Yield completions from disposable per-point child processes.
+
+        Unlike :meth:`_run_parallel`'s shared ``multiprocessing.Pool``, each
+        point gets its own process, so a crash or kill takes down exactly
+        one point; overruns of ``point_timeout_s`` are terminated; failures
+        are retried ``max_retries`` times with exponential backoff before a
+        failed :class:`RunResult` is yielded.  Up to ``jobs`` children run
+        concurrently (``jobs=1`` degrades to guarded serial execution).
+        """
+        cache_desc = self._cache_descriptor()
+        queue: List[int] = sorted(
+            range(len(pending)),
+            key=lambda index: self._point_cost(pending[index]),
+            reverse=True,
+        )
+        attempts: Dict[int, int] = {}
+        retry_at: Dict[int, float] = {}
+        active: Dict[int, _GuardedPoint] = {}
+        try:
+            while queue or active:
+                now = time.monotonic()
+                eligible = [i for i in queue if retry_at.get(i, 0.0) <= now]
+                while eligible and len(active) < self.jobs:
+                    index = eligible.pop(0)
+                    queue.remove(index)
+                    active[index] = _spawn_guarded(
+                        index, pending[index], cache_desc, self.point_timeout_s
+                    )
+                progressed = False
+                for index in list(active):
+                    point = active[index]
+                    error: Optional[str] = None
+                    if point.conn.poll(0):
+                        try:
+                            status, payload = point.conn.recv()
+                        except (EOFError, OSError):
+                            status, payload = (
+                                "error",
+                                f"worker crashed (exit code {point.proc.exitcode})",
+                            )
+                        if status == "ok":
+                            del active[index]
+                            _reap_guarded(point)
+                            progressed = True
+                            yield (
+                                pending[index],
+                                RunResult.from_dict(payload["result"]),
+                                payload["cache"],
+                            )
+                            continue
+                        error = str(payload)
+                    elif not point.proc.is_alive():
+                        error = f"worker crashed (exit code {point.proc.exitcode})"
+                    elif point.deadline is not None and now >= point.deadline:
+                        error = f"point timed out after {self.point_timeout_s:g}s"
+                    else:
+                        continue
+                    del active[index]
+                    _reap_guarded(point, kill=True)
+                    progressed = True
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if attempts[index] <= self.max_retries:
+                        retry_at[index] = time.monotonic() + self.retry_backoff_s * (
+                            2 ** (attempts[index] - 1)
+                        )
+                        queue.append(index)
+                    else:
+                        yield (
+                            pending[index],
+                            RunResult(
+                                spec=pending[index],
+                                error=f"{error} (attempts={attempts[index]})",
+                            ),
+                            None,
+                        )
+                if not progressed:
+                    time.sleep(0.01)
+        finally:
+            # fail_fast (or a closed consumer) abandons the generator with
+            # children still running; kill them rather than leak them.
+            for point in active.values():
+                _reap_guarded(point, kill=True)
 
     def _record(self, result: RunResult) -> None:
         self.history.append(result)

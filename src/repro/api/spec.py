@@ -118,14 +118,17 @@ class ExperimentSpec:
             if self.kind == "bandwidth" and self.messages < 1:
                 raise SpecError("bandwidth experiments need at least one message")
         if self.kind in ("macro", "engine"):
-            from repro.apps import MACROBENCHMARKS
+            from repro.apps import DIAGNOSTIC_WORKLOADS, MACROBENCHMARKS
 
             if self.workload is None:
                 raise SpecError("macro experiments need a workload name")
-            if self.workload not in MACROBENCHMARKS:
+            if (
+                self.workload not in MACROBENCHMARKS
+                and self.workload not in DIAGNOSTIC_WORKLOADS
+            ):
                 raise SpecError(
-                    f"unknown workload {self.workload!r}; "
-                    f"choose from {sorted(MACROBENCHMARKS)}"
+                    f"unknown workload {self.workload!r}; choose from "
+                    f"{sorted(MACROBENCHMARKS) + sorted(DIAGNOSTIC_WORKLOADS)}"
                 )
             if self.scale <= 0:
                 raise SpecError("scale must be positive")

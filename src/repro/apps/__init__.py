@@ -5,6 +5,7 @@ from typing import Dict, Type
 from repro.apps.appbt import AppbtWorkload
 from repro.apps.em3d import Em3dWorkload
 from repro.apps.gauss import GaussWorkload
+from repro.apps.hang import HangWorkload
 from repro.apps.moldyn import MoldynWorkload
 from repro.apps.spsolve import SpsolveWorkload
 from repro.apps.workload import Workload, WorkloadResult, poll_until
@@ -18,15 +19,22 @@ MACROBENCHMARKS: Dict[str, Type[Workload]] = {
     "appbt": AppbtWorkload,
 }
 
+#: Diagnostic (non-paper) workloads: runnable through specs and
+#: ``create_workload`` but excluded from Table 3 and the figure sweeps.
+#: ``hang`` deliberately never completes (watchdog / chaos testing).
+DIAGNOSTIC_WORKLOADS: Dict[str, Type[Workload]] = {
+    "hang": HangWorkload,
+}
+
 
 def create_workload(name: str, **kwargs) -> Workload:
-    """Instantiate a macrobenchmark skeleton by its paper name."""
-    try:
-        cls = MACROBENCHMARKS[name]
-    except KeyError:
+    """Instantiate a macrobenchmark or diagnostic skeleton by name."""
+    cls = MACROBENCHMARKS.get(name) or DIAGNOSTIC_WORKLOADS.get(name)
+    if cls is None:
         raise ValueError(
-            f"unknown macrobenchmark {name!r}; choose from {sorted(MACROBENCHMARKS)}"
-        ) from None
+            f"unknown macrobenchmark {name!r}; choose from "
+            f"{sorted(MACROBENCHMARKS) + sorted(DIAGNOSTIC_WORKLOADS)}"
+        )
     return cls(**kwargs)
 
 
@@ -37,8 +45,10 @@ __all__ = [
     "SpsolveWorkload",
     "GaussWorkload",
     "Em3dWorkload",
+    "HangWorkload",
     "MoldynWorkload",
     "AppbtWorkload",
     "MACROBENCHMARKS",
+    "DIAGNOSTIC_WORKLOADS",
     "create_workload",
 ]

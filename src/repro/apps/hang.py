@@ -1,0 +1,65 @@
+"""Diagnostic workload that deliberately never completes.
+
+Used by the watchdog tests and the CI chaos-smoke job to prove that a hung
+simulation point is detected, diagnosed and reported ``failed`` instead of
+wedging a batch.  Two hang modes cover the watchdog's two detectors:
+
+* ``mode="quiesce"`` — every node parks on a barrier that one node never
+  joins: the event queues drain with unfinished processes, which the
+  watchdog turns into a :class:`repro.sim.SimulationHangError` carrying a
+  wait-for graph.
+* ``mode="spin"`` — node 0 busy-polls for a message nobody sends while the
+  others finish: events keep executing but no workload progress is made,
+  tripping the stall detector (spin elision parks the poller on quiet
+  devices, in which case this degenerates to a quiescent hang — both are
+  diagnosed).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence
+
+from repro.apps.workload import Workload, poll_until
+from repro.node.machine import Machine
+
+
+class HangWorkload(Workload):
+    """A workload that intentionally hangs (for watchdog/chaos testing)."""
+
+    name = "hang"
+    key_communication = "none — deliberately deadlocks"
+    paper_input = "n/a (diagnostic)"
+
+    def __init__(self, scale: float = 1.0, seed: int = 12345, mode: str = "quiesce"):
+        super().__init__(scale=scale, seed=seed)
+        if mode not in ("quiesce", "spin"):
+            raise ValueError(f"unknown hang mode {mode!r} (quiesce or spin)")
+        self.mode = mode
+
+    def describe_input(self) -> str:
+        return f"diagnostic hang, mode={self.mode}"
+
+    def programs(self, machine: Machine) -> Sequence[Generator]:
+        world = len(machine.nodes)
+
+        def defector(ml) -> Generator:
+            # Do a little work so the run isn't trivially empty, then exit
+            # without joining the barrier everyone else waits on.
+            yield 100
+
+        def waiter(ml) -> Generator:
+            yield 100
+            yield from ml.barrier()
+
+        def spinner(ml) -> Generator:
+            # Busy-poll for a message that is never sent.
+            yield from poll_until(ml, lambda: False)
+
+        programs: List[Generator] = []
+        for node in range(world):
+            ml = machine.messaging[node]
+            if self.mode == "spin":
+                programs.append(spinner(ml) if node == 0 else defector(ml))
+            else:
+                programs.append(defector(ml) if node == 0 else waiter(ml))
+        return programs

@@ -134,6 +134,31 @@ class MachineParams:
         default_factory=lambda: {BusKind.CACHE: 2, BusKind.MEMORY: 15, BusKind.IO: 25}
     )
 
+    # Fault injection (grammar in :mod:`repro.faults.plan`).  ``""`` — the
+    # default — means no faults: the machine uses the selected fabric
+    # directly.  A non-empty name (e.g. ``"lossy1"``, ``"drop=0.01"``)
+    # resolves against the fault-plan registry and wraps the fabric in a
+    # deterministic :class:`repro.faults.fabric.FaultyFabric`.
+    faults: str = ""
+    #: Seed for the fault-decision RNG streams (mixed with link endpoints
+    #: and a per-link message counter; independent of workload seeds).
+    fault_seed: int = 0
+
+    #: End-to-end reliable messaging (sequence numbers, ack/timeout/
+    #: retransmit, duplicate suppression) in the messaging layer.  Required
+    #: for workloads to complete under lossy fault plans; off by default
+    #: because the e2e acks are real messages that change cycle counts.
+    reliable_messaging: bool = False
+    #: Base retransmission timeout (processor cycles); doubled per attempt
+    #: up to ``max_retransmits`` (capped exponential backoff).  The default
+    #: covers the *software* round trip — the receiver only acks when its
+    #: program polls, which can be tens of thousands of cycles after
+    #: delivery — so a short (hardware-RTT-scale) value here causes
+    #: spurious retransmission storms.
+    retransmit_timeout_cycles: int = 25_000
+    #: Give up (raise) after this many retransmissions of one fragment.
+    max_retransmits: int = 12
+
     # Optional global features
     data_snarfing: bool = False
 
@@ -220,6 +245,21 @@ class MachineParams:
                 raise ParameterError(
                     "data snarfing needs broadcast snoops; directory protocol "
                     f"{self.protocol!r} filters them (disable data_snarfing)"
+                )
+        if self.retransmit_timeout_cycles < 1:
+            raise ParameterError("retransmit_timeout_cycles must be >= 1")
+        if self.max_retransmits < 0:
+            raise ParameterError("max_retransmits must be >= 0")
+        if self.faults:
+            # Lazy import, same reasoning as the fabric check below: the
+            # default (no faults) never pulls in the fault-plan grammar.
+            from repro.faults.plan import resolve_plan
+
+            plan = resolve_plan(self.faults)
+            if plan.is_lossy() and not self.reliable_messaging:
+                raise ParameterError(
+                    f"fault plan {self.faults!r} can lose or corrupt messages; "
+                    "enable reliable_messaging so workloads can complete"
                 )
         if self.fabric != "ideal":
             # Lazy import: the default short-circuits, so importing this

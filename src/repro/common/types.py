@@ -139,6 +139,12 @@ class NetworkMessage:
     inject_time: int = 0
     deliver_time: int = 0
     is_ack: bool = False
+    #: Set by the fault-injection layer when the payload was corrupted in
+    #: flight; the end-to-end reliability layer discards such messages.
+    corrupted: bool = False
+    #: End-to-end sequence number stamped by the reliable messaging layer
+    #: (-1 when reliability is off or the message is a control frame).
+    e2e_seq: int = -1
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

@@ -37,6 +37,10 @@ class MacroRunResult:
     memory_bus_occupancy: int
     io_bus_occupancy: int
     network_messages: int
+    #: Machine-wide fault-injection/recovery totals, present only when the
+    #: run had an active fault plan (``params.faults``); ``None`` otherwise
+    #: so fault-free results are byte-identical to pre-fault-layer ones.
+    fault_stats: Optional[Dict] = None
 
     def speedup_over(self, baseline: "MacroRunResult") -> float:
         if self.cycles <= 0:
@@ -63,6 +67,7 @@ def run_macrobenchmark(
     )
     workload = create_workload(workload_name, scale=scale, **(workload_kwargs or {}))
     result: WorkloadResult = workload.run(machine, max_cycles=max_cycles)
+    fault_stats = machine.fault_stats() if machine.params.faults else None
     return MacroRunResult(
         workload=workload_name,
         ni_name=ni_name,
@@ -71,6 +76,7 @@ def run_macrobenchmark(
         memory_bus_occupancy=result.memory_bus_occupancy,
         io_bus_occupancy=result.io_bus_occupancy,
         network_messages=result.network_messages,
+        fault_stats=fault_stats,
     )
 
 

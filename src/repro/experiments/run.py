@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments.run scalability [--quick] [--jobs 4]
     python -m repro.experiments.run netsense [--quick] [--jobs 4]
     python -m repro.experiments.run protocols [--quick] [--jobs 4]
+    python -m repro.experiments.run faults [--quick] [--jobs 4]
     python -m repro.experiments.run all [--quick] [--json results.json]
     python -m repro.experiments.run analyze {lint,statkeys,conflicts,determinism} [...]
     python -m repro.experiments.run serve [--port 8042] [--jobs 4] [...]
@@ -18,10 +19,17 @@ Usage::
 ``all`` regenerates the paper artifacts (tables + figures).  The
 beyond-the-paper sweeps are separate commands: ``scalability`` re-runs the
 fig8 macro trio from 4 to 64 nodes on the ideal and mesh fabrics,
-``netsense`` sweeps latency x topology x device family, and ``protocols``
-re-runs the macro trio under every shipped coherence rule table (all
-powered by the :mod:`repro.api` presets; the nightly CI pipeline drives
-them with ``--json`` to archive the structured results).
+``netsense`` sweeps latency x topology x device family, ``protocols``
+re-runs the macro trio under every shipped coherence rule table, and
+``faults`` runs macro workloads under deterministic fault-injection plans
+with the reliable messaging layer recovering lost traffic (all powered by
+the :mod:`repro.api` presets; the nightly CI pipeline drives them with
+``--json`` to archive the structured results).
+
+``--point-timeout S``, ``--max-retries N`` and ``--fail-fast`` harden long
+sweeps: points run in disposable child processes, hung or crashed points
+are killed/retried, and at worst one point is recorded failed instead of
+wedging the sweep.
 
 Every experiment goes through :mod:`repro.api`: ``--jobs N`` fans the sweep
 out over N worker processes, ``--cache-dir`` (default ``.repro-cache``)
@@ -48,6 +56,7 @@ from typing import List, Optional
 
 from repro.api import (
     SweepRunner,
+    fault_sweep,
     network_sensitivity_sweep,
     paper_tables,
     protocol_sweep,
@@ -163,6 +172,38 @@ def run_netsense(quick: bool, runner: SweepRunner) -> None:
     _print(report.format_table(rows, "Network sensitivity: completion cycles by latency x topology x device"))
 
 
+def run_faults(quick: bool, runner: SweepRunner) -> None:
+    """Fault-injection axis: macro runs per (plan, seed) with recovery stats."""
+    if quick:
+        sweep = fault_sweep(
+            workloads=("gauss",), num_nodes=8, scale=0.25, seeds=(0,)
+        )
+    else:
+        sweep = fault_sweep(
+            workloads=("gauss", "em3d"), plans=("zero", "lossy1", "lossy5"), seeds=(0, 1)
+        )
+    results = runner.run(sweep)
+    rows = []
+    for result in results:
+        params = result.spec.params
+        row = {
+            "plan": params.get("faults", ""),
+            "seed": params.get("fault_seed", 0),
+            "workload": result.spec.workload,
+            "config": result.spec.config,
+        }
+        if result.error is not None:
+            row["cycles"] = "FAILED"
+            row["error"] = result.error
+        else:
+            row["cycles"] = f"{result.metrics['cycles']:,.0f}"
+            row["drops"] = f"{result.metrics.get('fault_drops', 0):,.0f}"
+            row["retransmits"] = f"{result.metrics.get('fault_retransmits', 0):,.0f}"
+            row["recoveries"] = f"{result.metrics.get('fault_recoveries', 0):,.0f}"
+        rows.append(row)
+    _print(report.format_table(rows, "Fault injection: macro completion and recovery per (plan, seed)"))
+
+
 def run_protocols(quick: bool, runner: SweepRunner) -> None:
     """Coherence-protocol axis: the macro trio per registered rule table."""
     if quick:
@@ -216,7 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument(
         "experiment",
-        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "scalability", "netsense", "protocols", "all"],
+        choices=["tables", "fig6", "fig7", "fig8", "occupancy", "scalability", "netsense", "protocols", "faults", "all"],
         help="which experiment to regenerate",
     )
     parser.add_argument("--quick", action="store_true", help="smaller, faster sweep")
@@ -231,9 +272,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--no-cache", action="store_true", help="disable the on-disk result cache")
     parser.add_argument("--progress", action="store_true", help="report per-point progress on stderr")
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per point in seconds; overruns are killed and "
+        "recorded as failed instead of hanging the sweep",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-run a crashed or timed-out point this many times before recording failure",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first failed point (exit nonzero)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     if args.no_cache:
         cache = None
@@ -247,6 +303,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=cache,
         progress=_progress if args.progress else None,
+        point_timeout_s=args.point_timeout,
+        max_retries=args.max_retries,
+        fail_fast=args.fail_fast,
     )
 
     start = time.time()
@@ -267,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_netsense(args.quick, runner)
     if args.experiment == "protocols":
         run_protocols(args.quick, runner)
+    if args.experiment == "faults":
+        run_faults(args.quick, runner)
     elapsed = time.time() - start
 
     if args.json:

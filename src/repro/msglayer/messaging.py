@@ -40,6 +40,7 @@ from repro.sim import (
     SPIN_PROGRESS,
     SPIN_TRANSIENT,
     Counter,
+    Samples,
     Simulator,
     SpinGuard,
     spin_wait,
@@ -90,6 +91,38 @@ class _Reassembly:
     body: Tuple = ()
 
 
+#: Marker heading the body tuple of an end-to-end ack control frame.
+_E2E_ACK = "__e2e_ack"
+
+#: Cap on the exponential-backoff shift, so one retransmission interval
+#: never exceeds ``retransmit_timeout_cycles << _MAX_BACKOFF_SHIFT``.
+_MAX_BACKOFF_SHIFT = 5
+
+#: Accepted data fragments per source before a cumulative ack is sent
+#: (deferred acks also flush on a deadline, so the sender's timeout is
+#: never starved).  Batching keeps the ack traffic well under one control
+#: frame per data fragment.
+_ACK_BATCH = 4
+
+#: Retransmissions attempted per reliability tick.  Retransmitting every
+#: due fragment at once floods the per-destination hardware window and
+#: wedges the poll loop inside a blocked send; spreading them across
+#: ticks lets acks flow back between attempts.
+_RETRANSMITS_PER_TICK = 2
+
+
+@dataclass
+class _PendingTx:
+    """An unacknowledged reliable fragment, kept until acked or given up."""
+
+    payload_bytes: int
+    msg_seq: int
+    fragment: _Fragment
+    first_sent: int
+    deadline: int
+    attempts: int = 0
+
+
 class MessagingLayer:
     """Per-node user-level messaging layer (one per processor)."""
 
@@ -118,6 +151,20 @@ class MessagingLayer:
         self._software_buffer: "deque[Tuple[NetworkMessage, int]]" = deque()
         self._software_buffer_base = dram_allocator.allocate_blocks(SOFTWARE_BUFFER_BLOCKS)
         self._software_buffer_next = 0
+        # End-to-end reliability state (inert when reliable_messaging off:
+        # the gated branches add no simulated events, so the off path is
+        # bit-identical to the pre-reliability layer).
+        self._reliable_on = params.reliable_messaging
+        self._tx_next: Dict[int, int] = {}
+        self._tx_pending: Dict[Tuple[int, int], _PendingTx] = {}
+        self._rx_cursor: Dict[int, int] = {}
+        self._rx_seen: Dict[int, set] = {}
+        self._ack_owed: Dict[int, int] = {}
+        self._ack_deadline: Dict[int, int] = {}
+        self._last_rx_activity = 0
+        #: Cycles from first send to ack for fragments that needed at least
+        #: one retransmission (the recovery-latency histogram).
+        self.recovery_samples = Samples()
         # Spin-wait elision guards (None when disabled or the device's
         # polls are not pure cached reads; see repro.sim.spinwait).
         self._recv_spin_guard, self._send_spin_guard = self._build_spin_guards()
@@ -143,6 +190,12 @@ class MessagingLayer:
         with uncached polls (NI2w, CNI4) get no guard and simply spin.
         """
         if not self.params.spin_elision:
+            return None, None
+        if self.params.reliable_messaging:
+            # A poller parked on the arrival signal would never wake to
+            # observe a retransmission deadline (the signal for a dropped
+            # message never fires), so reliability keeps the spinning
+            # loops and their periodic timeout checks.
             return None, None
         ni = self.ni
         signal = getattr(ni, "arrival_signal", None)
@@ -282,6 +335,24 @@ class MessagingLayer:
         sender blocks on the device's arrival signal instead of spinning,
         cycle-for-cycle identical to the spinning loop.
         """
+        if (
+            self._reliable_on
+            and isinstance(netmsg.body, _Fragment)
+            and netmsg.e2e_seq < 0
+        ):
+            # First transmission of a reliable data fragment: stamp the
+            # per-destination sequence number and remember it until acked.
+            seq = self._tx_next.get(netmsg.dest, 0)
+            self._tx_next[netmsg.dest] = seq + 1
+            netmsg.e2e_seq = seq
+            now = self.sim.now
+            self._tx_pending[(netmsg.dest, seq)] = _PendingTx(
+                payload_bytes=netmsg.payload_bytes,
+                msg_seq=netmsg.seq,
+                fragment=netmsg.body,
+                first_sent=now,
+                deadline=now + self.params.retransmit_timeout_cycles,
+            )
         sent = [False]
         attempts = [0]
 
@@ -356,8 +427,14 @@ class MessagingLayer:
         else:
             message = yield from self.ni.proc_poll()
             if message is None:
+                if self._reliable_on:
+                    yield from self._check_retransmits()
                 return False
         yield from self.processor.compute(SOFTWARE_OVERHEAD_CYCLES)
+        if self._reliable_on:
+            consumed = yield from self._reliable_receive(message)
+            yield from self._check_retransmits()
+            return consumed
         yield from self._handle_fragment(message)
         return True
 
@@ -409,6 +486,193 @@ class MessagingLayer:
         self._counts["user_messages_received"] += 1
         self._counts["user_bytes_received"] += state.user_bytes
         yield from self._dispatch(state.handler, message.source, state.user_bytes, state.body)
+
+    # ------------------------------------------------------------------
+    # End-to-end reliability (sequence numbers, ack/retransmit, dedup)
+    # ------------------------------------------------------------------
+    def _reliable_receive(self, message: NetworkMessage):
+        """Classify one incoming frame under reliable messaging (generator).
+
+        Returns True only when an original data fragment was accepted and
+        processed — ack control frames, duplicates and corrupted frames
+        return False, so ``poll_n`` counts match the fault-free run.
+        """
+        body = message.body
+        if isinstance(body, tuple) and body and body[0] == _E2E_ACK:
+            if not message.corrupted:
+                self._process_ack(message.source, body[1], body[2])
+            return False
+        if message.corrupted:
+            # Damaged in flight: discard without acking; the sender's
+            # timeout recovers it.
+            self._counts["corrupt_discarded"] += 1
+            return False
+        seq = message.e2e_seq
+        if seq < 0:
+            # Not a reliability-tracked frame (shouldn't happen when every
+            # node shares MachineParams); process as-is.
+            yield from self._handle_fragment(message)
+            return True
+        src = message.source
+        cursor = self._rx_cursor.get(src, 0)
+        seen = self._rx_seen.setdefault(src, set())
+        self._last_rx_activity = self.sim.now
+        if seq < cursor or seq in seen:
+            # A duplicate (fault-injected copy or a retransmission whose
+            # ack was lost): discard, but re-ack immediately so the sender
+            # stops.
+            self._counts["duplicates_discarded"] += 1
+            yield from self._send_e2e_ack(src)
+            return False
+        seen.add(seq)
+        while cursor in seen:
+            seen.discard(cursor)
+            cursor += 1
+        self._rx_cursor[src] = cursor
+        yield from self._handle_fragment(message)
+        owed = self._ack_owed.get(src, 0) + 1
+        if owed >= _ACK_BATCH:
+            yield from self._send_e2e_ack(src)
+        else:
+            # Defer: the cumulative ack covers this fragment too, and the
+            # deadline keeps the batching delay far below the sender's
+            # retransmission timeout.
+            self._ack_owed[src] = owed
+            self._ack_deadline.setdefault(
+                src, self.sim.now + self.params.retransmit_timeout_cycles // 4
+            )
+        return True
+
+    def _send_e2e_ack(self, dest: int):
+        """Send a cumulative ack control frame to ``dest`` (generator).
+
+        Carries the receive cursor (everything below it is acked) plus the
+        out-of-order set, so a lost ack is repaired by any later one.
+        """
+        self._ack_owed.pop(dest, None)
+        self._ack_deadline.pop(dest, None)
+        cursor = self._rx_cursor.get(dest, 0)
+        extra = tuple(sorted(self._rx_seen.get(dest, ())))
+        ack = NetworkMessage(
+            source=self.node_id,
+            dest=dest,
+            payload_bytes=8,
+            body=(_E2E_ACK, cursor, extra),
+        )
+        self._counts["e2e_acks_sent"] += 1
+        yield from self._send_network_message(ack)
+
+    def _process_ack(self, acker: int, cursor: int, extra: Tuple[int, ...]) -> None:
+        self._counts["e2e_acks_received"] += 1
+        extras = set(extra)
+        now = self.sim.now
+        for key in [
+            k for k in self._tx_pending if k[0] == acker and (k[1] < cursor or k[1] in extras)
+        ]:
+            entry = self._tx_pending.pop(key)
+            if entry.attempts:
+                self._counts["recoveries"] += 1
+                self.recovery_samples.record(now - entry.first_sent)
+
+    def _check_retransmits(self):
+        """Retransmit every pending fragment whose deadline passed (generator).
+
+        Backoff doubles per attempt (capped); a fragment that exhausts
+        ``max_retransmits`` is dropped with a ``retransmit_giveups`` count
+        rather than raising — by then the data almost certainly arrived
+        with its acks lost, and a true loss surfaces as a workload hang
+        that the engine watchdog diagnoses with full context.
+        """
+        if self._ack_deadline:
+            now = self.sim.now
+            for src in [s for s, d in self._ack_deadline.items() if d <= now]:
+                yield from self._send_e2e_ack(src)
+        if not self._tx_pending:
+            return
+        now = self.sim.now
+        due = sorted(
+            (
+                (entry.deadline, key, entry)
+                for key, entry in self._tx_pending.items()
+                if entry.deadline <= now
+            ),
+        )[:_RETRANSMITS_PER_TICK]
+        for _, key, entry in due:
+            if self._tx_pending.get(key) is not entry:
+                continue  # acked while an earlier retransmission blocked
+            if entry.attempts >= self.params.max_retransmits:
+                del self._tx_pending[key]
+                self._counts["retransmit_giveups"] += 1
+                continue
+            entry.attempts += 1
+            shift = min(entry.attempts, _MAX_BACKOFF_SHIFT)
+            entry.deadline = self.sim.now + (
+                self.params.retransmit_timeout_cycles << shift
+            )
+            self._counts["retransmits"] += 1
+            fresh = NetworkMessage(
+                source=self.node_id,
+                dest=key[0],
+                payload_bytes=entry.payload_bytes,
+                seq=entry.msg_seq,
+                body=entry.fragment,
+                e2e_seq=key[1],
+            )
+            yield from self._send_network_message(fresh)
+
+    def reliable_flush(self):
+        """Drive the reliability machinery to completion (generator).
+
+        Run after a node's program body finishes: first drain this node's
+        own unacked fragments (retransmitting as needed), then linger,
+        re-acking peers' retransmissions, until the link has been quiet
+        for a couple of timeout windows.  Bounded: every pending fragment
+        is either acked or gives up after ``max_retransmits``.
+        """
+        if not self._reliable_on:
+            return
+        backoff = SEND_RETRY_BACKOFF_CYCLES
+        while self._tx_pending:
+            got = yield from self.poll()
+            if not got:
+                yield backoff
+        # Everything we owe is acked; push out any deferred acks now so
+        # peers' flushes terminate without waiting for retransmissions.
+        for src in list(self._ack_owed):
+            yield from self._send_e2e_ack(src)
+        self._last_rx_activity = self.sim.now
+        linger = 2 * self.params.retransmit_timeout_cycles
+        while self.sim.now - self._last_rx_activity < linger:
+            got = yield from self.poll()
+            if not got:
+                yield backoff
+        self.stats.add("reliable_flushes")
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Per-node reliability/recovery counters (all zero under a
+        zero-rate plan; empty recovery histogram omitted)."""
+        raw = self.stats.raw
+        out: Dict[str, object] = {
+            key: raw.get(key, 0)
+            for key in (
+                "retransmits",
+                "retransmit_giveups",
+                "recoveries",
+                "duplicates_discarded",
+                "corrupt_discarded",
+                "e2e_acks_sent",
+                "e2e_acks_received",
+            )
+        }
+        if self.recovery_samples.count:
+            out["recovery_latency"] = {
+                "count": self.recovery_samples.count,
+                "mean": round(self.recovery_samples.mean, 1),
+                "p50": self.recovery_samples.percentile(0.5),
+                "p95": self.recovery_samples.percentile(0.95),
+                "max": self.recovery_samples.maximum,
+            }
+        return out
 
     def _deliver_local(self, handler: str, user_bytes: int, body: Tuple):
         self._counts["user_messages_sent"] += 1

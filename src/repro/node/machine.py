@@ -9,11 +9,12 @@ from repro.common.types import BusKind
 from repro.msglayer.messaging import MessagingLayer
 from repro.network.registry import create_fabric
 from repro.node.node import Node, NodeConfig
-from repro.sim import Simulator
+from repro.sim import Simulator, Watchdog
 
-
-class WorkloadHangError(RuntimeError):
-    """Raised when a workload fails to complete (deadlock or cycle limit)."""
+# Re-exported from the kernel's watchdog module (historical home); the
+# structured subclass SimulationHangError is caught by existing
+# ``except WorkloadHangError`` call sites.
+from repro.sim.watchdog import SimulationHangError, WorkloadHangError  # noqa: F401
 
 
 class Machine:
@@ -38,6 +39,15 @@ class Machine:
             raise ValueError("injected simulator has already executed events")
         self.sim = simulator if simulator is not None else Simulator()
         self.fabric = create_fabric(self.sim, self.params)
+        if self.params.faults:
+            # Deterministic fault injection: wrap whatever fabric the
+            # registry built (the wrapper shares the inner fabric's stats,
+            # so network_stats() is unchanged by a zero-rate plan).
+            from repro.faults import wrap_fabric
+
+            self.fabric = wrap_fabric(
+                self.fabric, self.params.faults, seed=self.params.fault_seed
+            )
 
         if node_configs is not None:
             if len(node_configs) != self.params.num_nodes:
@@ -161,12 +171,28 @@ class Machine:
                     f"expected {len(self.nodes)} programs, got {len(programs)}"
                 )
             items = enumerate(programs)
+        if self.params.reliable_messaging:
+            # Append the reliability flush to each program: drain unacked
+            # fragments and linger re-acking peers' retransmissions, so a
+            # lossy run terminates cleanly (two-generals cut off by the
+            # capped give-up + the watchdog).
+            items = [
+                (node_id, self._with_reliable_flush(node_id, program))
+                for node_id, program in items
+            ]
         processes = [
             self.nodes[node_id].processor.run_program(program, name=f"workload-cpu{node_id}")
             for node_id, program in items
         ]
+        watchdog = Watchdog(
+            self.sim,
+            processes,
+            max_cycles=max_cycles,
+            progress=self._progress_fingerprint,
+            partitions=self.partition_map,
+        )
         if profile:
-            self.last_profile = self.sim.run_profile(until=max_cycles)
+            self.last_profile = watchdog.run(profile=True)
             end_time = int(self.last_profile["end_time"])
             # Fold the protocol activity of the run into the profile so
             # kernel-throughput consumers see coherence work alongside it.
@@ -174,7 +200,7 @@ class Machine:
                 if key != "protocol":
                     self.last_profile[key] = value
         else:
-            end_time = self.sim.run(until=max_cycles)
+            end_time = watchdog.run()
         unfinished = [p.name for p in processes if not p.finished]
         if unfinished:
             raise WorkloadHangError(
@@ -182,6 +208,28 @@ class Machine:
                 f"{len(unfinished)} stuck processes ({', '.join(unfinished[:4])}...)"
             )
         return max(p.finished_at for p in processes) if processes else end_time
+
+    def _with_reliable_flush(self, node_id: int, program: Generator) -> Generator:
+        yield from program
+        yield from self.messaging[node_id].reliable_flush()
+
+    def _progress_fingerprint(self) -> tuple:
+        """Workload-progress fingerprint for the engine watchdog.
+
+        Deliberately excludes raw event/poll counters (a spinning poller
+        executes events forever without progressing) in favor of delivered
+        traffic and completed user-level messages.
+        """
+        net = self.fabric.stats
+        user = 0
+        for layer in self.messaging:
+            raw = layer.stats.raw
+            user += (
+                raw.get("user_messages_sent", 0)
+                + raw.get("user_messages_received", 0)
+                + raw.get("barriers", 0)
+            )
+        return (net.get("messages_delivered"), net.get("acks_delivered"), user)
 
     # ------------------------------------------------------------------
     # Partition ownership (PDES / repro.analysis)
@@ -198,7 +246,11 @@ class Machine:
         every scheduled callback's owner against this map, so any object
         reachable from a simulation process must appear here.
         """
-        parts: Dict[str, tuple] = {"fabric": (self.fabric,)}
+        fabric_objs = (self.fabric,)
+        inner = getattr(self.fabric, "inner", None)
+        if inner is not None:
+            fabric_objs = (self.fabric, inner)
+        parts: Dict[str, tuple] = {"fabric": fabric_objs}
         for node, layer in zip(self.nodes, self.messaging):
             interconnect = node.interconnect
             owned = [
@@ -274,6 +326,41 @@ class Machine:
 
     def network_stats(self) -> Dict[str, int]:
         return self.fabric.stats.as_dict()
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Machine-wide fault-injection and recovery totals.
+
+        Merges the fault wrapper's injection counters (drops, duplicates,
+        corruptions, delays) with every node's reliability counters
+        (retransmits, recoveries, dedup discards) and the combined
+        recovery-latency histogram.  Returns ``{"plan": ""}`` plus zeroed
+        recovery counters when no fault plan is active.
+        """
+        out: Dict[str, object] = {"plan": self.params.faults}
+        fabric_stats = getattr(self.fabric, "fault_stats", None)
+        if fabric_stats is not None:
+            out.update(fabric_stats())
+        recovery = None
+        for layer in self.messaging:
+            for key, value in layer.fault_stats().items():
+                if key == "recovery_latency":
+                    continue
+                out[key] = out.get(key, 0) + value
+            if layer.recovery_samples.count:
+                if recovery is None:
+                    from repro.sim import Samples
+
+                    recovery = Samples()
+                recovery.extend(layer.recovery_samples.values())
+        if recovery is not None:
+            out["recovery_latency"] = {
+                "count": recovery.count,
+                "mean": round(recovery.mean, 1),
+                "p50": recovery.percentile(0.5),
+                "p95": recovery.percentile(0.95),
+                "max": recovery.maximum,
+            }
+        return out
 
     def coherence_stats(self) -> Dict[str, Union[str, int]]:
         """Machine-wide coherence-protocol activity totals.

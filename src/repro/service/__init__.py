@@ -21,15 +21,17 @@ The service layer turns :mod:`repro.api` from a library into a system:
 """
 
 from repro.service.dedup import DedupError, InFlightRegistry
-from repro.service.http import ExperimentService, ServiceHandler, make_server
-from repro.service.store import EntryInfo, ResultStore
+from repro.service.http import ExperimentService, PointTimeoutError, ServiceHandler, make_server
+from repro.service.store import CorruptEntryError, EntryInfo, ResultStore
 
 __all__ = [
     "ResultStore",
     "EntryInfo",
+    "CorruptEntryError",
     "InFlightRegistry",
     "DedupError",
     "ExperimentService",
+    "PointTimeoutError",
     "ServiceHandler",
     "make_server",
 ]

@@ -13,7 +13,9 @@ are served warm and vice versa.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 from repro.api.cache import DEFAULT_CACHE_DIR
@@ -44,16 +46,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes per batch sweep (default: 1)",
     )
+    parser.add_argument(
+        "--point-timeout-s", type=float, default=None,
+        help="wall-clock budget per simulated point; overruns are killed and "
+        "reported 504 / failed (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="retries for crashed or timed-out points before reporting failure (default: 0)",
+    )
+    parser.add_argument(
+        "--grace-s", type=float, default=30.0,
+        help="seconds to let running batches drain on SIGTERM (default: 30)",
+    )
     parser.add_argument("--verbose", action="store_true", help="log every request")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     budget = None if args.budget_mb is None else int(args.budget_mb * 1024 * 1024)
     store = ResultStore(args.store_dir, budget_bytes=budget)
-    service = ExperimentService(store, jobs=args.jobs, verbose=args.verbose)
+    service = ExperimentService(
+        store,
+        jobs=args.jobs,
+        verbose=args.verbose,
+        point_timeout_s=args.point_timeout_s,
+        max_retries=args.max_retries,
+    )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+
+    def handle_term(signum: int, frame: object) -> None:
+        # Refuse new work immediately; stop the accept loop from a helper
+        # thread (server.shutdown blocks until serve_forever exits, so it
+        # must not run on the signal frame).
+        service.draining = True
+        threading.Thread(target=server.shutdown, name="sigterm-shutdown", daemon=True).start()
+
+    # Install the handler before the banner: the banner is the readiness
+    # signal, and a supervisor may SIGTERM the instant it sees it.
+    previous = signal.signal(signal.SIGTERM, handle_term)
     print(
         f"repro experiment service on http://{host}:{port} "
         f"(store={args.store_dir!r}, jobs={args.jobs}, "
@@ -65,7 +99,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
+        report = service.drain(grace_s=args.grace_s)
         server.server_close()
+        print(
+            f"drained: {report['unfinished_batches']} unfinished batches, "
+            f"{report['released_locks']} locks released",
+            flush=True,
+        )
     return 0
 
 

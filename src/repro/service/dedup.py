@@ -74,6 +74,10 @@ class InFlightRegistry:
         self.stale_after = stale_after
         self._mutex = threading.Lock()
         self._flights: Dict[str, _Flight] = {}
+        #: Keys this process currently leads (claimed, not yet completed or
+        #: failed).  A graceful shutdown walks this via :meth:`release_all`
+        #: so no ``.lock`` file outlives the process.
+        self._owned: set = set()
         self.leaders = 0
         self.followers = 0
         self.remote_followers = 0
@@ -147,6 +151,8 @@ class InFlightRegistry:
             # threads serialise on the mutex, not on O_EXCL.
             self._flights[key] = _Flight()
         if self._claim_lockfile(key):
+            with self._mutex:
+                self._owned.add(key)
             self.leaders += 1
             return True
         with self._mutex:
@@ -186,6 +192,7 @@ class InFlightRegistry:
             pass
         self._unlink(self._lock_path(key))
         with self._mutex:
+            self._owned.discard(key)
             flight = self._flights.pop(key, None)
         if flight is not None:
             flight.result = result
@@ -204,10 +211,29 @@ class InFlightRegistry:
             pass
         self._unlink(self._lock_path(key))
         with self._mutex:
+            self._owned.discard(key)
             flight = self._flights.pop(key, None)
         if flight is not None:
             flight.error = error
             flight.event.set()
+
+    def owned_keys(self) -> list:
+        """Keys this process currently leads (snapshot)."""
+        with self._mutex:
+            return sorted(self._owned)
+
+    def release_all(self, error: Optional[BaseException] = None) -> int:
+        """Fail every key this process still leads; returns how many.
+
+        The graceful-shutdown path: a terminating service must not leave
+        ``.lock`` files behind for other processes to poll against until
+        they go stale.  Waiters observe a ``.fail`` marker (or the flight
+        error) and re-claim.
+        """
+        keys = self.owned_keys()
+        for key in keys:
+            self.fail(key, error or RuntimeError("service shutting down"))
+        return len(keys)
 
     def wait(
         self,
@@ -253,6 +279,15 @@ class InFlightRegistry:
                     self._resolve_remote(key, result)
                 self._drop_remote(key)
                 return result
+            if self._lock_is_stale(lock):
+                # The leader died *while we were waiting* (its pid is gone or
+                # the lock aged out).  Checking only at claim time would park
+                # every follower here until the timeout; break the lock now
+                # and hand control back so the caller re-claims.
+                self._unlink(lock)
+                self.lock_breaks += 1
+                self._drop_remote(key)
+                return fetch()
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"in-flight wait for {key[:12]}… timed out")
             time.sleep(self.poll_interval)

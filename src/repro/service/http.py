@@ -39,13 +39,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.api.results import RunResult
-from repro.api.runner import SweepRunner, run_point
+from repro.api.runner import SweepRunner, run_point, run_point_guarded
 from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
 from repro.ni.taxonomy import TaxonomyError
 from repro.service.dedup import DedupError, InFlightRegistry
-from repro.service.store import ResultStore
+from repro.service.store import CorruptEntryError, ResultStore
 
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class PointTimeoutError(RuntimeError):
+    """A simulation exceeded the service's per-point wall-clock budget."""
 
 
 class _Batch:
@@ -55,6 +59,7 @@ class _Batch:
         self.id = batch_id
         self.total = total
         self.completed = 0
+        self.failed = 0
         self.events: List[Dict[str, Any]] = []
         self.done = False
         self.error: Optional[str] = None
@@ -66,6 +71,8 @@ class _Batch:
     def record(self, event: Dict[str, Any]) -> None:
         with self.cond:
             self.completed += 1
+            if event.get("failed"):
+                self.failed += 1
             event["completed"] = self.completed
             event["total"] = self.total
             self.events.append(event)
@@ -84,6 +91,7 @@ class _Batch:
                 "batch": self.id,
                 "total": self.total,
                 "completed": self.completed,
+                "failed": self.failed,
                 "done": self.done,
                 "error": self.error,
                 "keys": list(self.keys),
@@ -102,11 +110,29 @@ class ExperimentService:
     the wire.
     """
 
-    def __init__(self, store: ResultStore, jobs: int = 1, verbose: bool = False):
+    def __init__(
+        self,
+        store: ResultStore,
+        jobs: int = 1,
+        verbose: bool = False,
+        point_timeout_s: Optional[float] = None,
+        max_retries: int = 0,
+    ):
         self.store = store
         self.registry = InFlightRegistry(os.path.join(store.directory, ".inflight"))
         self.jobs = jobs
         self.verbose = verbose
+        #: Wall-clock budget per simulated point; ``None`` means unbounded.
+        #: When set, points run in disposable child processes that are
+        #: killed on overrun — a hung spec costs one point (504 / a failed
+        #: batch entry), never a wedged worker thread.
+        self.point_timeout_s = point_timeout_s
+        #: Crashed/timed-out points are retried this many times before
+        #: being reported failed.
+        self.max_retries = max_retries
+        #: Set during graceful shutdown: new work is refused with 503 while
+        #: running batches drain.
+        self.draining = False
         self.started = time.time()
         self._counter_lock = threading.Lock()
         self.counters: Dict[str, int] = {
@@ -115,6 +141,7 @@ class ExperimentService:
             "runs_started": 0,
             "runs_completed": 0,
             "run_errors": 0,
+            "failed_points": 0,
             "dedup_served": 0,
             "store_served": 0,
             "responses_304": 0,
@@ -152,9 +179,23 @@ class ExperimentService:
     # ------------------------------------------------------------------
     # Single runs
     # ------------------------------------------------------------------
+    @property
+    def guarded(self) -> bool:
+        return self.point_timeout_s is not None or self.max_retries > 0
+
     def _simulate(self, spec: ExperimentSpec) -> RunResult:
         self.bump("runs_started")
-        result = run_point(spec)
+        if self.guarded:
+            result, _ = run_point_guarded(
+                spec, timeout_s=self.point_timeout_s, max_retries=self.max_retries
+            )
+            if result.error is not None:
+                self.bump("failed_points")
+                if "timed out" in result.error:
+                    raise PointTimeoutError(result.error)
+                raise RuntimeError(result.error)
+        else:
+            result = run_point(spec)
         if spec.kind != "engine":
             self.store.put(result)
         self.bump("runs_completed")
@@ -192,10 +233,22 @@ class ExperimentService:
         """Kick off a background run (deduplicated); returns the key."""
         key = self.store.cache_key(spec)
         self.bump("async_runs")
+        # Claim before the 202 goes out: a poll that lands ahead of the
+        # worker thread must see the run in flight, never a transient 404.
+        leading = self.store.peek(spec) is None and self.registry.claim(key)
 
         def work() -> None:
             try:
-                self.run_spec(spec)
+                if leading:
+                    try:
+                        result = self._simulate(spec)
+                    except BaseException as exc:
+                        self.bump("run_errors")
+                        self.registry.fail(key, exc)
+                        return
+                    self.registry.complete(key, result)
+                else:
+                    self.run_spec(spec)
             except Exception:
                 pass  # recorded in run_errors; surfaced as 404/202 on poll
 
@@ -249,6 +302,19 @@ class ExperimentService:
 
             def progress(completed: int, total: int, result: RunResult) -> None:
                 key = self.store.cache_key(result.spec)
+                if result.error is not None:
+                    # The point crashed, hung past the timeout, or raised —
+                    # every retry exhausted.  Release the key as failed so
+                    # cross-process waiters re-claim instead of parking, and
+                    # report it; sibling points proceed untouched.
+                    if key in claimed:
+                        self.registry.fail(key, RuntimeError(result.error))
+                        claimed.remove(key)
+                    self.bump("runs_started")
+                    self.bump("run_errors")
+                    self.bump("failed_points")
+                    batch.record(_point_event(key, result))
+                    return
                 if key in claimed:
                     self.registry.complete(key, result)
                     claimed.remove(key)
@@ -260,7 +326,13 @@ class ExperimentService:
                 batch.record(_point_event(key, result))
 
             if leaders:
-                runner = SweepRunner(jobs=self.jobs, cache_dir=self.store, progress=progress)
+                runner = SweepRunner(
+                    jobs=self.jobs,
+                    cache_dir=self.store,
+                    progress=progress,
+                    point_timeout_s=self.point_timeout_s,
+                    max_retries=self.max_retries,
+                )
                 runner.run(leaders)
             for key, spec in waiters:
                 result = self.registry.wait(key, fetch=lambda s=spec: self.store.peek(s))
@@ -282,6 +354,38 @@ class ExperimentService:
             batch.finish(error=f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def drain(self, grace_s: float = 30.0) -> Dict[str, Any]:
+        """Stop accepting work, wait out running batches, release locks.
+
+        The SIGTERM path: new ``POST /run``/``POST /batch`` requests are
+        refused with 503 the moment draining starts; batches already
+        running get up to ``grace_s`` seconds to finish; any key this
+        process still leads afterwards is failed (removing its ``.lock``
+        so cross-process waiters re-claim immediately rather than timing
+        out against a dead pid).  Returns a small report for logging.
+        """
+        self.draining = True
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while time.monotonic() < deadline:
+            with self._batch_lock:
+                active = [b for b in self._batches.values() if not b.done]
+            if not active:
+                break
+            for batch in active:
+                with batch.cond:
+                    budget = deadline - time.monotonic()
+                    if budget <= 0:
+                        break
+                    if not batch.done:
+                        batch.cond.wait(min(0.25, budget))
+        with self._batch_lock:
+            unfinished = sum(1 for b in self._batches.values() if not b.done)
+        released = self.registry.release_all(RuntimeError("service shutting down"))
+        return {"unfinished_batches": unfinished, "released_locks": released}
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         with self._batch_lock:
             batches = {
@@ -295,6 +399,8 @@ class ExperimentService:
         return {
             "uptime_s": time.time() - self.started,
             "jobs": self.jobs,
+            "draining": self.draining,
+            "point_timeout_s": self.point_timeout_s,
             # Headline counters, flattened for quick scraping.
             "hits": store["hits"],
             "misses": store["misses"],
@@ -308,7 +414,7 @@ class ExperimentService:
 
 
 def _point_event(key: str, result: RunResult) -> Dict[str, Any]:
-    return {
+    event = {
         "key": key,
         "kind": result.spec.kind,
         "config": result.spec.config,
@@ -316,6 +422,10 @@ def _point_event(key: str, result: RunResult) -> Dict[str, Any]:
         "cached": result.cached,
         "elapsed_s": result.elapsed_s,
     }
+    if result.error is not None:
+        event["failed"] = True
+        event["error"] = result.error
+    return event
 
 
 def _etag_matches(header: Optional[str], etag: str) -> bool:
@@ -421,7 +531,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if not _KEY_RE.match(key):
             self._send_error_json(400, "result keys are 64 hex characters")
             return
-        entry = self.service.store.read_entry(key)
+        try:
+            entry = self.service.store.read_entry(key)
+        except CorruptEntryError as exc:
+            # The entry was torn on disk; it has been quarantined, so a
+            # retry recomputes the point instead of re-reading garbage.
+            self._send_json(503, {"error": str(exc)}, {"Retry-After": "1"})
+            return
         if entry is not None:
             data, etag = entry
             if _etag_matches(self.headers.get("If-None-Match"), etag):
@@ -442,6 +558,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body = self._read_body()
         if body is None:
             return
+        if self.service.draining:
+            self._send_json(503, {"error": "service is draining"}, {"Retry-After": "5"})
+            return
         self.service.bump("run_requests")
         try:
             spec = self.service.parse_spec(body)
@@ -458,7 +577,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return
             self.service.bump("runs_started")
             try:
-                result = run_point(spec)
+                if self.service.guarded:
+                    result, _ = run_point_guarded(
+                        spec,
+                        timeout_s=self.service.point_timeout_s,
+                        max_retries=self.service.max_retries,
+                    )
+                    if result.error is not None:
+                        if "timed out" in result.error:
+                            raise PointTimeoutError(result.error)
+                        raise RuntimeError(result.error)
+                else:
+                    result = run_point(spec)
+            except PointTimeoutError as exc:
+                self.service.bump("run_errors")
+                self._send_error_json(504, f"simulation timed out: {exc}")
+                return
             except Exception as exc:
                 self.service.bump("run_errors")
                 self._send_error_json(500, f"simulation failed: {type(exc).__name__}: {exc}")
@@ -476,13 +610,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         try:
             key, role = self.service.run_spec(spec)
+        except PointTimeoutError as exc:
+            self._send_error_json(504, f"simulation timed out: {exc}")
+            return
         except DedupError as exc:
             self._send_error_json(503, str(exc))
             return
         except Exception as exc:
             self._send_error_json(500, f"simulation failed: {type(exc).__name__}: {exc}")
             return
-        entry = self.service.store.read_entry(key)
+        try:
+            entry = self.service.store.read_entry(key)
+        except CorruptEntryError as exc:
+            self._send_json(503, {"error": str(exc)}, {"Retry-After": "1"})
+            return
         if entry is None:
             self._send_error_json(503, "result evicted before it could be served; retry")
             return
@@ -494,6 +635,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _post_batch(self) -> None:
         body = self._read_body()
         if body is None:
+            return
+        if self.service.draining:
+            self._send_json(503, {"error": "service is draining"}, {"Retry-After": "5"})
             return
         try:
             points = self.service.parse_sweep(body)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import glob
 import hashlib
+import json
 import os
 import threading
 import time
@@ -53,6 +54,23 @@ from repro.api.results import RunResult
 from repro.api.spec import ExperimentSpec
 
 _META_SUFFIX = ".meta.json"
+
+#: Subdirectory corrupt entries are moved into.  The name is deliberately
+#: longer than two characters so quarantined files escape the sharded
+#: ``??/??/*.json`` walk (and the legacy flat ``*-*.json`` glob never
+#: descends into subdirectories) — a quarantined entry is invisible to
+#: every read, eviction and gc path until an operator inspects it.
+_QUARANTINE_DIR = "quarantine"
+
+
+class CorruptEntryError(RuntimeError):
+    """A store entry exists but holds torn/unparseable JSON.
+
+    Raised by the key-addressed serving path after the offending file has
+    been moved to the quarantine directory; the caller should answer 503
+    with a short ``Retry-After`` — the next request re-simulates the point
+    (the key now reads as a miss) instead of serving garbage bytes.
+    """
 
 
 @dataclass
@@ -92,6 +110,7 @@ class ResultStore(ResultCache):
         self.budget_bytes = budget_bytes
         self.evictions = 0
         self.evicted_bytes = 0
+        self.quarantined = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -111,6 +130,45 @@ class ResultStore(ResultCache):
         """A flat ``<kind>-<key>.json`` entry left by :class:`ResultCache`."""
         matches = glob.glob(os.path.join(self.directory, f"*-{key}.json"))
         return matches[0] if matches else None
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, _QUARANTINE_DIR)
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, key: str, path: Optional[str] = None) -> bool:
+        """Move a corrupt entry (and its sidecar) out of the serving tree.
+
+        Quarantined files keep their names under ``quarantine/`` for
+        post-mortem inspection but are invisible to every read path, so the
+        key immediately reads as a miss and gets recomputed.  Returns True
+        if an entry file was actually moved.
+        """
+        path = path or self.path_for_key(key)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        moved = False
+        for victim in (path, self.meta_path_for_key(key)):
+            try:
+                os.replace(victim, os.path.join(self.quarantine_dir, os.path.basename(victim)))
+                moved = moved or not victim.endswith(_META_SUFFIX)
+            except OSError:
+                continue
+        if moved:
+            with self._lock:
+                self.quarantined += 1
+        return moved
+
+    def quarantine_count(self) -> int:
+        """Entries currently sitting in the quarantine directory."""
+        return len(
+            [
+                name
+                for name in glob.glob(os.path.join(self.quarantine_dir, "*.json"))
+                if not name.endswith(_META_SUFFIX)
+            ]
+        )
 
     # ------------------------------------------------------------------
     # The ResultCache interface
@@ -191,6 +249,7 @@ class ResultStore(ResultCache):
             "stores": self.stores,
             "evictions": self.evictions,
             "evicted_bytes": self.evicted_bytes,
+            "quarantined": self.quarantined,
             "entries": entries,
             "bytes": total,
             "pinned": pinned,
@@ -202,9 +261,11 @@ class ResultStore(ResultCache):
     def read_entry(self, key: str) -> Optional[Tuple[bytes, str]]:
         """The raw entry bytes and strong ETag for ``key``, or ``None``.
 
-        This is the serving read path: one file read (plus a best-effort
-        metadata touch), no JSON decode of the result, no spec validation,
-        and definitely no Machine construction.
+        This is the serving read path: one file read plus a JSON
+        well-formedness check (no result decode, no spec validation, and
+        definitely no Machine construction).  A torn entry is moved to
+        quarantine and surfaces as :class:`CorruptEntryError` so the HTTP
+        layer can answer 503 instead of shipping garbage bytes.
         """
         path = self.path_for_key(key)
         try:
@@ -214,12 +275,18 @@ class ResultStore(ResultCache):
             legacy = self._legacy_path(key)
             if legacy is None:
                 return None
+            path = legacy
             try:
                 with open(legacy, "rb") as handle:
                     data = handle.read()
             except OSError:
                 return None
-        meta = read_entry(self.meta_path_for_key(key)) or {}
+        try:
+            json.loads(data)
+        except ValueError:
+            self.quarantine(key, path)
+            raise CorruptEntryError(f"store entry {key[:12]}… is corrupt; quarantined")
+        meta = self.read_meta(key)
         etag = meta.get("etag") or hashlib.sha256(data).hexdigest()
         self._touch(key)
         return data, etag
@@ -228,7 +295,14 @@ class ResultStore(ResultCache):
     # Metadata
     # ------------------------------------------------------------------
     def read_meta(self, key: str) -> Dict:
-        return read_entry(self.meta_path_for_key(key)) or {}
+        """The sidecar metadata for ``key``; ``{}`` when missing or damaged.
+
+        Sidecars are advisory (they order eviction and carry the ETag), so a
+        torn or wrong-shaped one must never take down a read path: anything
+        that is not a JSON object degrades to empty metadata.
+        """
+        meta = read_entry(self.meta_path_for_key(key))
+        return meta if isinstance(meta, dict) else {}
 
     def _write_meta(
         self,
@@ -256,7 +330,7 @@ class ResultStore(ResultCache):
         """Best-effort last-hit bump; losing a racing update is harmless."""
         path = self.meta_path_for_key(key)
         meta = read_entry(path)
-        if meta is None:
+        if not isinstance(meta, dict):
             return
         meta["last_hit"] = time.time()
         meta["hits"] = int(meta.get("hits", 0)) + 1
@@ -433,7 +507,14 @@ class ResultStore(ResultCache):
         a miss; gc reclaims them.  Returns a report of what was (or, with
         ``dry_run``, would be) removed.
         """
-        report = {"stale": 0, "corrupt": 0, "orphan_meta": 0, "tmp": 0, "bytes": 0}
+        report = {
+            "stale": 0,
+            "corrupt": 0,
+            "orphan_meta": 0,
+            "tmp": 0,
+            "bytes": 0,
+            "quarantined": self.quarantine_count(),
+        }
         live = set()
         for info in self.entries(include_invalid=True):
             if info.state == "ok":

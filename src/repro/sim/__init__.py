@@ -19,10 +19,20 @@ from repro.sim.spinwait import (
     spin_wait,
 )
 from repro.sim.stats import Counter, Samples, StatsRegistry, safe_ratio
+from repro.sim.watchdog import (
+    SimulationHangError,
+    Watchdog,
+    WorkloadHangError,
+    wait_for_graph,
+)
 
 __all__ = [
     "Simulator",
     "SimulationError",
+    "SimulationHangError",
+    "Watchdog",
+    "WorkloadHangError",
+    "wait_for_graph",
     "SpinGuard",
     "spin_wait",
     "SPIN_EMPTY",
