@@ -73,6 +73,14 @@ def _protocols_headline(report: dict) -> dict:
     }
 
 
+def _traffic_headline(report: dict) -> dict:
+    return {
+        "best_replay_event_speedup": report.get("best_event_speedup"),
+        "trace_messages": report.get("trace_messages"),
+        "all_fidelity_exact": report.get("all_fidelity_exact"),
+    }
+
+
 def _service_headline(report: dict) -> dict:
     dedup = report.get("dedup", {})
     return {
@@ -89,6 +97,7 @@ _HEADLINES = {
     "fabric": _fabric_headline,
     "protocols": _protocols_headline,
     "service": _service_headline,
+    "traffic": _traffic_headline,
 }
 
 

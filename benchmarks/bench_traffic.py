@@ -1,0 +1,210 @@
+"""Trace replay benchmark: record once, replay across devices, gate 3x.
+
+The replay kind exists to make device x fabric sweeps cheap: capture one
+golden run's NI message stream, then re-issue it through other device
+points without re-simulating the workload's software (messaging-layer
+overhead, handler dispatch, fragment reassembly, spin loops).  This
+benchmark measures that claim at fig8 scale and gates it:
+
+* **Fidelity** — the trace replayed through every point must reproduce
+  the recorded message and byte counts exactly (the fidelity contract of
+  :mod:`repro.trace`).
+* **Speedup** — on the programmed-I/O point (NI2w, the paper's baseline
+  and the costliest fresh simulation), replay must execute at least
+  ``--min-speedup`` (default 3) times fewer kernel events than the fresh
+  macro run.  Kernel events are deterministic for a given seed and
+  config, so the gate is machine-independent; wall-clock ratios are
+  reported alongside for human eyes.
+
+CI perf-smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py --check \
+        --min-speedup 3.0 --json BENCH_traffic.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from time import perf_counter
+
+from repro.api import ExperimentSpec
+from repro.apps import create_workload
+from repro.node.machine import Machine
+from repro.trace import record_trace
+from repro.trace.replay import TraceReplayWorkload
+
+#: The configuration the golden run is recorded on (cheap, cache-friendly).
+RECORD_POINT = ("CNI16Qm", "memory")
+
+#: Replay targets: the recorded config itself (fidelity anchor) plus the
+#: programmed-I/O device on both fabrics — the expensive fresh points a
+#: sweep actually wants to avoid re-simulating.
+SWEEP_POINTS = (
+    ("CNI16Qm", "memory", None),
+    ("NI2w", "io", None),
+    ("NI2w", "io", "mesh"),
+)
+
+FULL = {"num_nodes": 16, "scale": 1.0, "workload": "gauss"}
+QUICK = {"num_nodes": 8, "scale": 0.25, "workload": "gauss"}
+
+
+def _spec(kind: str, device: str, bus: str, fabric, config: dict, **kwargs) -> ExperimentSpec:
+    params = {"fabric": fabric} if fabric else {}
+    return ExperimentSpec(
+        kind=kind,
+        device=device,
+        bus=bus,
+        num_nodes=config["num_nodes"],
+        scale=config["scale"] if kind == "macro" else 1.0,
+        params=params,
+        **kwargs,
+    )
+
+
+def _run(machine: Machine, workload, max_cycles: int = 2_000_000_000) -> dict:
+    start = perf_counter()
+    result = workload.run(machine, max_cycles=max_cycles)
+    wall = perf_counter() - start
+    net = machine.network_stats()
+    return {
+        "cycles": result.cycles,
+        "events": machine.sim.event_count,
+        "wall_s": wall,
+        "messages": net.get("messages_injected", 0),
+        "payload_bytes": net.get("payload_bytes", 0),
+    }
+
+
+def run_all(config: dict) -> dict:
+    workload_name = config["workload"]
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "golden.json.gz")
+        rec_spec = _spec(
+            "macro", RECORD_POINT[0], RECORD_POINT[1], None, config, workload=workload_name
+        )
+        start = perf_counter()
+        summary = record_trace(rec_spec, trace)
+        record_wall = perf_counter() - start
+
+        rows = []
+        for device, bus, fabric in SWEEP_POINTS:
+            fresh_spec = _spec("macro", device, bus, fabric, config, workload=workload_name)
+            fresh = _run(
+                Machine.from_spec(fresh_spec),
+                create_workload(
+                    workload_name,
+                    scale=config["scale"],
+                    seed=fresh_spec.resolved_seed(),
+                ),
+            )
+            replay_spec = _spec(
+                "replay", device, bus, fabric, config,
+                workload="replay", workload_kwargs={"trace": trace},
+            )
+            replay = _run(Machine.from_spec(replay_spec), TraceReplayWorkload(trace=trace))
+            rows.append(
+                {
+                    "device": device,
+                    "bus": bus,
+                    "fabric": fabric or "ideal",
+                    "fresh": fresh,
+                    "replay": replay,
+                    "event_speedup": fresh["events"] / replay["events"] if replay["events"] else 0.0,
+                    "wall_speedup": fresh["wall_s"] / replay["wall_s"] if replay["wall_s"] else 0.0,
+                    "fidelity_exact": (
+                        replay["messages"] == summary.messages
+                        and replay["payload_bytes"] == summary.payload_bytes
+                    ),
+                }
+            )
+    return {
+        "workload": workload_name,
+        "num_nodes": config["num_nodes"],
+        "scale": config["scale"],
+        "record_point": f"{RECORD_POINT[0]}@{RECORD_POINT[1]}",
+        "record_wall_s": record_wall,
+        "trace_messages": summary.messages,
+        "trace_payload_bytes": summary.payload_bytes,
+        "rows": rows,
+        "best_event_speedup": max(row["event_speedup"] for row in rows),
+        "all_fidelity_exact": all(row["fidelity_exact"] for row in rows),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry
+# ----------------------------------------------------------------------
+def test_replay_speedup(benchmark):
+    from _util import single_run
+
+    report = single_run(benchmark, run_all, QUICK)
+    print()
+    print(
+        f"best replay speedup: {report['best_event_speedup']:.2f}x events "
+        f"({report['trace_messages']} messages)"
+    )
+    assert report["all_fidelity_exact"]
+    assert report["best_event_speedup"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI (CI perf-smoke gate)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"reduced run ({QUICK['num_nodes']} nodes, scale {QUICK['scale']}); "
+                        "the 3x gate only holds at full fig8 scale")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on fidelity or speedup failures")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail --check if no sweep point replays this many times fewer events")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    config = dict(QUICK if args.quick else FULL)
+    report = run_all(config)
+    report["min_speedup"] = args.min_speedup
+
+    print(f"recorded {report['trace_messages']} messages on {report['record_point']} "
+          f"in {report['record_wall_s']:.2f}s")
+    print(f"{'point':20s} {'fresh ev':>12s} {'replay ev':>12s} {'events':>8s} {'wall':>7s} {'fidelity':>9s}")
+    for row in report["rows"]:
+        point = f"{row['device']}@{row['bus']}/{row['fabric']}"
+        print(
+            f"{point:20s} {row['fresh']['events']:>12,} {row['replay']['events']:>12,} "
+            f"{row['event_speedup']:>7.2f}x {row['wall_speedup']:>6.2f}x "
+            f"{'exact' if row['fidelity_exact'] else 'DIVERGED':>9s}"
+        )
+    print(f"best event speedup: {report['best_event_speedup']:.2f}x "
+          f"(gate: >= {args.min_speedup:.1f}x)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"(wrote {args.json})")
+
+    if args.check:
+        failures = []
+        if not report["all_fidelity_exact"]:
+            failures.append("replay diverged from the recorded message/byte counts")
+        if report["best_event_speedup"] < args.min_speedup:
+            failures.append(
+                f"best replay speedup {report['best_event_speedup']:.2f}x "
+                f"< required {args.min_speedup:.1f}x"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,14 @@ Typical use::
 """
 
 from repro.api.cache import ResultCache
+from repro.api.kinds import (
+    KINDS,
+    KindSpec,
+    available_kinds,
+    kind_spec,
+    register_kind,
+    unregister_kind,
+)
 from repro.api.presets import (
     DEVICE_FAMILIES,
     FAMILY_CONFIGS,
@@ -43,6 +51,7 @@ from repro.api.presets import (
     protocol_sweep,
     scalability_sweep,
     speedups,
+    traffic_sweep,
 )
 from repro.api.results import ResultSet, RunResult
 from repro.api.runner import SweepFailure, SweepRunner, run_point, run_point_guarded
@@ -59,8 +68,15 @@ __all__ = [
     "SweepRunner",
     "run_point",
     "run_point_guarded",
+    "KINDS",
+    "KindSpec",
+    "available_kinds",
+    "kind_spec",
+    "register_kind",
+    "unregister_kind",
     "latency_sweep",
     "bandwidth_sweep",
+    "traffic_sweep",
     "macro_sweep",
     "engine_sweep",
     "fault_sweep",

@@ -43,12 +43,21 @@ def _repro_version() -> str:
 
 def encode_entry(result: RunResult) -> Dict:
     """``result`` as a cache-entry payload, stamped with every schema version
-    the entry's validity depends on."""
+    the entry's validity depends on.
+
+    Kinds that opt in via the kind registry (traffic, replay) additionally
+    carry the workload schema stamp; legacy kinds do not grow the field, so
+    their entries stay byte-identical to pre-registry ones.
+    """
+    from repro.api.kinds import folds_workload_schema, workload_schema_version
+
     payload = result.to_dict()
     payload["repro_version"] = _repro_version()
     payload["device_schema_version"] = DEVICE_SCHEMA_VERSION
     payload["fabric_schema_version"] = FABRIC_SCHEMA_VERSION
     payload["protocol_schema_version"] = PROTOCOL_SCHEMA_VERSION
+    if folds_workload_schema(result.spec.kind):
+        payload["workload_schema_version"] = workload_schema_version()
     return payload
 
 
@@ -60,12 +69,21 @@ def entry_is_current(payload: Dict) -> bool:
     belt-and-braces beside the schema-versioned cache key, for entries whose
     filename was produced by other means.
     """
-    return (
+    from repro.api.kinds import folds_workload_schema, workload_schema_version
+
+    current = (
         payload.get("repro_version") == _repro_version()
         and payload.get("device_schema_version") == DEVICE_SCHEMA_VERSION
         and payload.get("fabric_schema_version") == FABRIC_SCHEMA_VERSION
         and payload.get("protocol_schema_version") == PROTOCOL_SCHEMA_VERSION
     )
+    if not current:
+        return False
+    spec_payload = payload.get("spec")
+    kind = spec_payload.get("kind") if isinstance(spec_payload, dict) else None
+    if folds_workload_schema(kind):
+        return payload.get("workload_schema_version") == workload_schema_version()
+    return True
 
 
 def decode_entry(payload: Dict, spec: Optional[ExperimentSpec] = None) -> Optional[RunResult]:
@@ -134,11 +152,17 @@ class ResultCache:
 
     def cache_key(self, spec: ExperimentSpec) -> str:
         """Spec hash widened with the device, fabric and protocol schema
-        versions."""
+        versions — plus, for kinds whose results depend on how workloads
+        are *generated* (traffic, replay), the workload schema version and
+        any per-spec token (a trace-file digest).  Legacy kinds get the
+        exact historic key."""
+        from repro.api.kinds import cache_suffix
+
         payload = (
             f"{spec.spec_hash()}:device-schema-{DEVICE_SCHEMA_VERSION}"
             f":fabric-schema-{FABRIC_SCHEMA_VERSION}"
             f":protocol-schema-{PROTOCOL_SCHEMA_VERSION}"
+            f"{cache_suffix(spec)}"
         )
         return hashlib.sha256(payload.encode("ascii")).hexdigest()
 

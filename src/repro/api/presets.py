@@ -439,6 +439,53 @@ def protocol_sweep(
     return SweepSpec.explicit(points, name=name)
 
 
+def traffic_sweep(
+    patterns: Optional[Sequence[str]] = None,
+    configs: Sequence[Tuple[str, str]] = (BASELINE_CONFIG, ("CNI16Qm", "memory")),
+    num_nodes: int = 16,
+    scale: float = 1.0,
+    workload_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    name: str = "traffic",
+) -> SweepSpec:
+    """Synthetic-traffic axis: registered patterns × (device, bus).
+
+    ``patterns`` defaults to every workload registered under the
+    ``"traffic"`` and ``"fine-grain"`` tags — the synthetic generators
+    (uniform, hotspot, transpose, bursty) plus the modern fine-grain
+    patterns (allreduce, halo, psrpc, kv).  Each point runs
+    ``kind="traffic"`` and reports network-centric metrics (delivered
+    bandwidth, message rate, grid hop/contention totals) alongside the
+    usual occupancies, so device and fabric choices can be compared under
+    controlled load instead of a full application.
+    """
+    if patterns is None:
+        import repro.traffic  # noqa: F401 — register the shipped patterns
+
+        from repro.apps import workload_names
+
+        patterns = workload_names("traffic") + workload_names("fine-grain")
+    per_pattern = dict(workload_kwargs or {})
+    base_params = dict(params or {})
+    points: List[ExperimentSpec] = []
+    for pattern in patterns:
+        kwargs = dict(per_pattern.get(pattern, {}))
+        for device, bus in configs:
+            points.append(
+                ExperimentSpec(
+                    kind="traffic",
+                    device=device,
+                    bus=bus,
+                    num_nodes=num_nodes,
+                    workload=pattern,
+                    scale=scale,
+                    workload_kwargs=kwargs,
+                    params=dict(base_params),
+                )
+            )
+    return SweepSpec.explicit(points, name=name)
+
+
 def speedups(
     results: ResultSet,
     workload: str,

@@ -20,6 +20,7 @@ import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.cache import ResultCache
+from repro.api.kinds import kind_cacheable, measure_point, point_cost
 from repro.api.results import ResultSet, RunResult
 from repro.api.spec import ExperimentSpec, SweepSpec, as_points
 
@@ -32,18 +33,13 @@ def run_point(spec: ExperimentSpec) -> RunResult:
 
     This is a pure function of the (validated) spec: running the same spec
     twice — in this process or another — yields identical metrics, which is
-    what makes both the result cache and parallel execution safe.
+    what makes both the result cache and parallel execution safe.  Dispatch
+    goes through the kind registry (:mod:`repro.api.kinds`), so plugin
+    kinds run through the exact same path as the built-ins.
     """
     spec = spec.validate()
     started = time.perf_counter()
-    if spec.kind == "latency":
-        metrics = _run_latency(spec)
-    elif spec.kind == "bandwidth":
-        metrics = _run_bandwidth(spec)
-    elif spec.kind == "engine":
-        metrics = _run_engine(spec)
-    else:
-        metrics = _run_macro(spec)
+    metrics = measure_point(spec)
     return RunResult(spec=spec, metrics=metrics, elapsed_s=time.perf_counter() - started)
 
 
@@ -198,7 +194,7 @@ def _run_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     spec = ExperimentSpec.from_dict(payload["spec"])
     counters = {"hits": 0, "stores": 0}
-    cache = None if spec.kind == "engine" else _worker_cache(payload.get("cache"))
+    cache = _worker_cache(payload.get("cache")) if kind_cacheable(spec.kind) else None
     if cache is not None:
         hit = cache.get(spec)
         if hit is not None:
@@ -429,13 +425,14 @@ class SweepRunner:
 
         # Memo levels: results already produced through this runner (e.g. a
         # previous figure's sweep sharing points), then the on-disk cache.
-        # kind="engine" points are wall-clock measurements: serving them from
-        # any memo would report stale throughput, so they always re-run.
+        # Non-cacheable kinds (engine) are wall-clock measurements: serving
+        # them from any memo would report stale throughput, so they always
+        # re-run.
         known = self.history.by_hash() if len(self.history) else {}
         resolved: Dict[str, RunResult] = {}
         pending: List[ExperimentSpec] = []
         for key, spec in unique.items():
-            if spec.kind == "engine":
+            if not kind_cacheable(spec.kind):
                 pending.append(spec)
                 continue
             hit = known.get(key)
@@ -465,7 +462,7 @@ class SweepRunner:
                 # Failed points are carried, never cached: a later run must
                 # recompute them rather than be served the failure.
                 self.failures += 1
-            elif self.cache is not None and spec.kind != "engine":
+            elif self.cache is not None and kind_cacheable(spec.kind):
                 if worker_stats is None:
                     # Serial execution: this process writes the entry.
                     self.cache.put(result)
@@ -507,17 +504,10 @@ class SweepRunner:
     def _point_cost(spec: ExperimentSpec) -> float:
         """Rough relative wall-clock cost of one experiment point.
 
-        Used only to order parallel work, so precision does not matter —
-        just the gross ranking: macro (and engine) workload runs dwarf
-        bandwidth streams, which dwarf latency ping-pongs, and each kind
-        scales with its own size knob plus the number of nodes simulated.
+        Delegates to the kind registry's per-kind cost hooks (the historic
+        heuristics live there); used only to order parallel work.
         """
-        nodes = max(1, spec.num_nodes)
-        if spec.kind in ("macro", "engine"):
-            return 1_000_000.0 * spec.scale * nodes
-        if spec.kind == "bandwidth":
-            return 1_000.0 * spec.messages * max(1, spec.message_bytes) / 256.0
-        return 10.0 * spec.iterations * max(1, spec.message_bytes) / 256.0
+        return point_cost(spec)
 
     def _cache_descriptor(self) -> Optional[Dict[str, Any]]:
         """How a worker process should rebuild this runner's cache."""

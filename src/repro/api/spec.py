@@ -20,12 +20,8 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.api.kinds import check_kind, describe_point, validate_kind
 from repro.common.types import BusKind
-
-#: Measurement kinds understood by :func:`repro.api.runner.run_point`.
-#: ``"engine"`` runs a macro workload while profiling the simulation kernel
-#: itself (events/sec); its metrics are wall-clock and machine-dependent.
-KINDS = ("latency", "bandwidth", "macro", "engine")
 
 #: Version tag baked into every canonical form so that cache entries from
 #: incompatible schema revisions never collide.
@@ -102,36 +98,17 @@ class ExperimentSpec:
         """
         from repro.ni.taxonomy import validate_ni_kwargs
 
-        if self.kind not in KINDS:
-            raise SpecError(f"unknown experiment kind {self.kind!r}; choose from {KINDS}")
+        check_kind(self.kind)
         try:
             BusKind(self.bus)
         except ValueError:
             raise SpecError(f"unknown bus {self.bus!r}") from None
         if self.num_nodes < 2:
             raise SpecError("experiments need at least two nodes")
-        if self.kind in ("latency", "bandwidth"):
-            if self.message_bytes <= 0:
-                raise SpecError("message_bytes must be positive")
-            if self.kind == "latency" and self.iterations < 1:
-                raise SpecError("latency experiments need at least one iteration")
-            if self.kind == "bandwidth" and self.messages < 1:
-                raise SpecError("bandwidth experiments need at least one message")
-        if self.kind in ("macro", "engine"):
-            from repro.apps import DIAGNOSTIC_WORKLOADS, MACROBENCHMARKS
-
-            if self.workload is None:
-                raise SpecError("macro experiments need a workload name")
-            if (
-                self.workload not in MACROBENCHMARKS
-                and self.workload not in DIAGNOSTIC_WORKLOADS
-            ):
-                raise SpecError(
-                    f"unknown workload {self.workload!r}; choose from "
-                    f"{sorted(MACROBENCHMARKS) + sorted(DIAGNOSTIC_WORKLOADS)}"
-                )
-            if self.scale <= 0:
-                raise SpecError("scale must be positive")
+        # Per-kind checks come from the kind registry (the historic
+        # latency/bandwidth/macro rules live on their KindSpecs now, with
+        # identical messages); plugin kinds hook in the same way.
+        validate_kind(self)
         # Early taxonomy validation against the device registry: any legal
         # taxonomy name resolves (registered or synthesized from primitives);
         # illegal names and unsupported device kwargs fail here, not sixteen
@@ -239,11 +216,7 @@ class ExperimentSpec:
         return replace(self, **overrides)
 
     def describe(self) -> str:
-        if self.kind in ("macro", "engine"):
-            what = f"{self.workload} x{self.scale:g} on {self.num_nodes} nodes"
-        else:
-            what = f"{self.message_bytes} B"
-        return f"{self.kind}[{self.config}] {what}"
+        return f"{self.kind}[{self.config}] {describe_point(self)}"
 
 
 @dataclass

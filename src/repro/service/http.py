@@ -38,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.api.kinds import kind_cacheable
 from repro.api.results import RunResult
 from repro.api.runner import SweepRunner, run_point, run_point_guarded
 from repro.api.spec import ExperimentSpec, SpecError, SweepSpec
@@ -196,7 +197,7 @@ class ExperimentService:
                 raise RuntimeError(result.error)
         else:
             result = run_point(spec)
-        if spec.kind != "engine":
+        if kind_cacheable(spec.kind):
             self.store.put(result)
         self.bump("runs_completed")
         return result
@@ -208,10 +209,12 @@ class ExperimentService:
         warm hit, ``"leader"`` for the caller that simulated, ``"follower"``
         / ``"remote"`` for deduplicated callers.
         """
-        if spec.kind == "engine":
-            # Engine results are never stored, so dedup waiters could never
-            # fetch them; callers run wall-clock specs inline instead.
-            raise SpecError("engine specs are wall-clock measurements; run them inline")
+        if not kind_cacheable(spec.kind):
+            # Non-cacheable results are never stored, so dedup waiters could
+            # never fetch them; callers run wall-clock specs inline instead.
+            raise SpecError(
+                f"{spec.kind} specs are wall-clock measurements; run them inline"
+            )
         key = self.store.cache_key(spec)
         if self.store.get(spec) is not None:
             self.bump("store_served")
@@ -293,9 +296,9 @@ class ExperimentService:
             for key, spec in unique.items():
                 if self.store.peek(spec) is not None:
                     leaders.append(spec)  # warm: runner serves it from the store
-                elif spec.kind == "engine" or self.registry.claim(key):
+                elif not kind_cacheable(spec.kind) or self.registry.claim(key):
                     leaders.append(spec)
-                    if spec.kind != "engine":
+                    if kind_cacheable(spec.kind):
                         claimed.append(key)
                 else:
                     waiters.append((key, spec))
@@ -569,11 +572,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return
         query = parse_qs(url.query)
         wait = query.get("wait", ["1"])[0].lower() not in ("0", "false", "no")
-        if spec.kind == "engine":
-            # Wall-clock kernel measurements are never stored or deduplicated
+        if not kind_cacheable(spec.kind):
+            # Wall-clock measurements are never stored or deduplicated
             # (serving a memo would report stale throughput): run inline.
             if not wait:
-                self._send_error_json(400, "engine (wall-clock) specs cannot run asynchronously")
+                self._send_error_json(
+                    400, f"{spec.kind} (wall-clock) specs cannot run asynchronously"
+                )
                 return
             self.service.bump("runs_started")
             try:
@@ -598,7 +603,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_error_json(500, f"simulation failed: {type(exc).__name__}: {exc}")
                 return
             self.service.bump("runs_completed")
-            self._send_json(200, result.to_dict(), {"X-Repro-Role": "engine"})
+            self._send_json(200, result.to_dict(), {"X-Repro-Role": "inline"})
             return
         if not wait:
             key = self.service.start_async_run(spec)

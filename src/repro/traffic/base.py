@@ -1,0 +1,161 @@
+"""Phase-based base class for synthetic traffic workloads.
+
+A traffic pattern is described declaratively: :meth:`TrafficWorkload.plan`
+returns, per node, a list of :class:`Phase`\\ s — each a tuple of paced
+:class:`Send`\\ s followed by a count of data-message arrivals the node
+waits for before moving on.  The base class turns that plan into node
+programs over the messaging layer: one counting handler for plain data
+messages, one auto-reply handler for request/response traffic, blocking
+waits through the spin-elision machinery, and a closing barrier so every
+node keeps serving requests until the whole machine is done.
+
+Keeping the pattern *data* and the execution *shared* is what makes every
+pattern deterministic by construction: all randomness is drawn from the
+workload's seeded RNG while building the plan, so the same seed produces
+the same message stream serially, under ``--jobs`` (each point runs whole
+inside one worker) and through the experiment service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.apps.workload import Workload, poll_until
+from repro.node.machine import Machine
+
+#: Handler name for plain data messages (counted by the receiver).
+DATA_HANDLER = "traffic_data"
+#: Handler name for request messages (answered with a data message of the
+#: requested size, like the macro skeletons' request/response pairs).
+REQUEST_HANDLER = "traffic_request"
+
+#: Reply size used when a request does not name one.
+DEFAULT_REPLY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Send:
+    """One paced send in a node's plan.
+
+    ``gap`` cycles of compute are charged before the send issues (pacing /
+    modelled computation).  ``dest=None`` makes a pure compute slot.  When
+    ``request`` is set the message goes to the auto-reply handler and the
+    destination answers with a ``reply_bytes`` data message.
+    """
+
+    dest: Optional[int]
+    user_bytes: int = 0
+    gap: int = 0
+    request: bool = False
+    reply_bytes: int = DEFAULT_REPLY_BYTES
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A batch of sends followed by a wait for ``expect`` data arrivals."""
+
+    sends: Tuple[Send, ...]
+    expect: int = 0
+
+
+class TrafficWorkload(Workload):
+    """Base class for synthetic traffic patterns (see module docstring)."""
+
+    #: Pattern name as registered (subclasses set it).
+    name = "traffic"
+    key_communication = "Synthetic traffic"
+    paper_input = "synthetic pattern"
+
+    # ------------------------------------------------------------------
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        """One phase list per node.  Subclasses implement the pattern."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _validated_plan(self, num_nodes: int) -> List[List[Phase]]:
+        plans = self.plan(num_nodes)
+        if len(plans) != num_nodes:
+            raise ValueError(
+                f"{self.name}: plan covers {len(plans)} nodes, machine has {num_nodes}"
+            )
+        for node, phases in enumerate(plans):
+            for phase in phases:
+                for send in phase.sends:
+                    if send.dest is None:
+                        continue
+                    if not 0 <= send.dest < num_nodes or send.dest == node:
+                        raise ValueError(
+                            f"{self.name}: node {node} sends to invalid dest {send.dest}"
+                        )
+                    if send.user_bytes <= 0:
+                        raise ValueError(
+                            f"{self.name}: node {node} sends {send.user_bytes} bytes"
+                        )
+        return plans
+
+    def programs(self, machine: Machine) -> Sequence[Generator]:
+        num_nodes = len(machine.nodes)
+        plans = self._validated_plan(num_nodes)
+        received = [0] * num_nodes
+
+        def make_data_handler(proc_id: int):
+            def handler(ml, source, nbytes, body):
+                received[proc_id] += 1
+                return None
+
+            return handler
+
+        def request_handler(ml, source, nbytes, body):
+            reply_bytes = int(body[0]) if body else DEFAULT_REPLY_BYTES
+            return ml.send_active_message(source, DATA_HANDLER, reply_bytes)
+
+        programs = []
+        for proc_id, ml in enumerate(machine.messaging):
+            ml.register_handler(DATA_HANDLER, make_data_handler(proc_id))
+            ml.register_handler(REQUEST_HANDLER, request_handler)
+
+            def program(proc_id=proc_id, ml=ml, phases=plans[proc_id]):
+                target = 0
+                for phase in phases:
+                    for send in phase.sends:
+                        if send.gap > 0:
+                            yield from ml.processor.compute(send.gap)
+                        if send.dest is None:
+                            continue
+                        if send.request:
+                            yield from ml.send_active_message(
+                                send.dest,
+                                REQUEST_HANDLER,
+                                send.user_bytes,
+                                (send.reply_bytes,),
+                            )
+                        else:
+                            yield from ml.send_active_message(
+                                send.dest, DATA_HANDLER, send.user_bytes
+                            )
+                    target += phase.expect
+                    if phase.expect:
+                        yield from poll_until(
+                            ml, lambda t=target, p=proc_id: received[p] >= t
+                        )
+                # Nodes with nothing left to do keep polling inside the
+                # barrier, so they still serve late requests from peers.
+                yield from ml.barrier()
+
+            programs.append(program())
+        return programs
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the patterns
+    # ------------------------------------------------------------------
+    @staticmethod
+    def near_square_grid(num_nodes: int) -> Tuple[int, int]:
+        """The most square ``rows x cols`` factorisation of ``num_nodes``."""
+        rows = int(num_nodes**0.5)
+        while rows > 1 and num_nodes % rows:
+            rows -= 1
+        return rows, num_nodes // rows
+
+    def describe_input(self) -> str:
+        return f"{self.paper_input} (scale={self.scale}, seed={self.seed})"

@@ -1,0 +1,239 @@
+"""Modern fine-grain communication patterns.
+
+Four patterns from today's datacenter and ML stacks, expressed as
+:class:`~repro.traffic.base.TrafficWorkload` plans: recursive-doubling
+allreduce, 2-D halo exchange, parameter-server RPC and key-value
+request/response.  They test whether the paper's 1996 CNI conclusions
+generalize to fine-grain, latency-bound exchanges — the question the
+ISCA interconnect retrospectives pose (see PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.registry import register_workload
+from repro.traffic.base import Phase, Send, TrafficWorkload
+
+
+@register_workload(tags=("fine-grain",))
+class AllreduceTraffic(TrafficWorkload):
+    """Recursive-doubling allreduce: log2(N) rounds of pairwise vector
+    exchange with a strict round barrier — the collective at the heart
+    of data-parallel training."""
+
+    name = "allreduce"
+    key_communication = "Recursive doubling"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        iterations: int = 4,
+        vector_bytes: int = 1024,
+        compute_cycles: int = 2000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.iterations = self.scaled(iterations, scale)
+        self.vector_bytes = int(vector_bytes)
+        self.compute_cycles = int(compute_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rounds = max(1, (num_nodes - 1).bit_length())
+        plans: List[List[Phase]] = []
+        for node in range(num_nodes):
+            phases: List[Phase] = []
+            for _iteration in range(self.iterations):
+                first = True
+                for rnd in range(rounds):
+                    partner = node ^ (1 << rnd)
+                    gap = self.compute_cycles if first else 0
+                    first = False
+                    if partner < num_nodes:
+                        # Exchange: send my partial vector, wait for the
+                        # partner's before the next round may start.
+                        phases.append(
+                            Phase(
+                                (
+                                    Send(
+                                        dest=partner,
+                                        user_bytes=self.vector_bytes,
+                                        gap=gap,
+                                    ),
+                                ),
+                                expect=1,
+                            )
+                        )
+                    elif gap:
+                        # Non-power-of-two sizes: idle round, still compute.
+                        phases.append(Phase((Send(dest=None, gap=gap),), expect=0))
+            plans.append(phases)
+        return plans
+
+
+@register_workload(tags=("fine-grain",))
+class HaloExchangeTraffic(TrafficWorkload):
+    """2-D halo exchange: each node computes, then trades boundary strips
+    with its four periodic grid neighbours every iteration — the
+    stencil-code staple."""
+
+    name = "halo"
+    key_communication = "Near-neighbour halo"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        iterations: int = 4,
+        halo_bytes: int = 512,
+        compute_cycles: int = 8000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.iterations = self.scaled(iterations, scale)
+        self.halo_bytes = int(halo_bytes)
+        self.compute_cycles = int(compute_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rows, cols = self.near_square_grid(num_nodes)
+        neighbours: List[List[int]] = []
+        for node in range(num_nodes):
+            r, c = divmod(node, cols)
+            around = {
+                ((r + dr) % rows) * cols + (c + dc) % cols
+                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            }
+            around.discard(node)
+            # Periodic wrap makes the neighbour relation symmetric, so
+            # len(around) is also exactly how many strips arrive per
+            # iteration.
+            neighbours.append(sorted(around))
+        plans: List[List[Phase]] = []
+        for node in range(num_nodes):
+            phases = []
+            for _iteration in range(self.iterations):
+                sends = tuple(
+                    Send(
+                        dest=nb,
+                        user_bytes=self.halo_bytes,
+                        gap=self.compute_cycles if index == 0 else 0,
+                    )
+                    for index, nb in enumerate(neighbours[node])
+                )
+                if not sends:
+                    sends = (Send(dest=None, gap=self.compute_cycles),)
+                phases.append(Phase(sends, expect=len(neighbours[node])))
+            plans.append(phases)
+        return plans
+
+
+@register_workload(tags=("fine-grain",))
+class ParameterServerTraffic(TrafficWorkload):
+    """Parameter-server RPC: workers push gradients to server nodes and
+    block on the pulled parameters each step — an incast with a built-in
+    round-trip dependency."""
+
+    name = "psrpc"
+    key_communication = "PS push/pull RPC"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        steps: int = 6,
+        servers: int = 1,
+        push_bytes: int = 512,
+        pull_bytes: int = 1024,
+        compute_cycles: int = 4000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        if servers < 1:
+            raise ValueError("psrpc needs at least one server node")
+        self.steps = self.scaled(steps, scale)
+        self.servers = int(servers)
+        self.push_bytes = int(push_bytes)
+        self.pull_bytes = int(pull_bytes)
+        self.compute_cycles = int(compute_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        servers = min(self.servers, num_nodes - 1)
+        plans: List[List[Phase]] = []
+        for node in range(num_nodes):
+            if node < servers:
+                # Servers only serve: the auto-reply handler answers pulls
+                # while the node sits in the closing barrier.
+                plans.append([])
+                continue
+            phases = []
+            for step in range(self.steps):
+                server = (node + step) % servers
+                phases.append(
+                    Phase(
+                        (
+                            Send(
+                                dest=server,
+                                user_bytes=self.push_bytes,
+                                gap=self.compute_cycles,
+                                request=True,
+                                reply_bytes=self.pull_bytes,
+                            ),
+                        ),
+                        expect=1,
+                    )
+                )
+            plans.append(phases)
+        return plans
+
+
+@register_workload(tags=("fine-grain",))
+class KeyValueTraffic(TrafficWorkload):
+    """Key-value request/response: every node is client and server at
+    once, issuing small skewed-popularity GETs and answering peers'
+    requests with value-sized replies."""
+
+    name = "kv"
+    key_communication = "KV GET/reply"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        requests_per_node: int = 32,
+        key_bytes: int = 16,
+        value_bytes: int = 128,
+        hot_fraction: float = 0.2,
+        gap_cycles: int = 120,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.requests_per_node = self.scaled(requests_per_node, scale)
+        self.key_bytes = int(key_bytes)
+        self.value_bytes = int(value_bytes)
+        self.hot_fraction = float(hot_fraction)
+        self.gap_cycles = int(gap_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rng = self.rng()
+        plans: List[List[Phase]] = []
+        for node in range(num_nodes):
+            sends = []
+            for _ in range(self.requests_per_node):
+                if rng.random() < self.hot_fraction:
+                    owner = 0  # hot key's home
+                else:
+                    owner = rng.randrange(num_nodes)
+                if owner == node:
+                    owner = (owner + 1) % num_nodes
+                sends.append(
+                    Send(
+                        dest=owner,
+                        user_bytes=self.key_bytes,
+                        gap=self.gap_cycles,
+                        request=True,
+                        reply_bytes=self.value_bytes,
+                    )
+                )
+            # Wait for all replies; requests from peers are served by the
+            # handler while polling (and inside the closing barrier).
+            plans.append([Phase(tuple(sends), expect=len(sends))])
+        return plans

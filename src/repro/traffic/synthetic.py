@@ -1,0 +1,201 @@
+"""Classic synthetic interconnect stress patterns.
+
+The four canonical generators of the interconnection-network literature,
+expressed as :class:`~repro.traffic.base.TrafficWorkload` plans: uniform
+random, hotspot, transpose permutation and bursty on/off.  They stress
+mesh/torus link contention, endpoint queue depth and sliding-window
+backpressure in ways the paper's application skeletons cannot, which is
+exactly what makes them useful for checking whether the CNI conclusions
+generalize beyond the 1996 workload set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.registry import register_workload
+from repro.traffic.base import Phase, Send, TrafficWorkload
+
+
+def _uniform_dest(rng, node: int, num_nodes: int) -> int:
+    """A uniformly random destination excluding ``node`` itself."""
+    dest = rng.randrange(num_nodes - 1)
+    return dest + 1 if dest >= node else dest
+
+
+@register_workload(tags=("traffic",))
+class UniformRandomTraffic(TrafficWorkload):
+    """Uniform-random traffic: every node sends paced messages to
+    uniformly random peers — the baseline load-balance stressor."""
+
+    name = "uniform"
+    key_communication = "Uniform random"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        messages_per_node: int = 48,
+        message_bytes: int = 64,
+        gap_cycles: int = 60,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.messages_per_node = self.scaled(messages_per_node, scale)
+        self.message_bytes = int(message_bytes)
+        self.gap_cycles = int(gap_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rng = self.rng()
+        sends: List[List[Send]] = [[] for _ in range(num_nodes)]
+        expect = [0] * num_nodes
+        for node in range(num_nodes):
+            for _ in range(self.messages_per_node):
+                dest = _uniform_dest(rng, node, num_nodes)
+                sends[node].append(
+                    Send(dest=dest, user_bytes=self.message_bytes, gap=self.gap_cycles)
+                )
+                expect[dest] += 1
+        return [[Phase(tuple(sends[n]), expect[n])] for n in range(num_nodes)]
+
+
+@register_workload(tags=("traffic",))
+class HotspotTraffic(TrafficWorkload):
+    """Hotspot traffic: a fraction of all messages converge on one hot
+    node, saturating its receive path (queue overflow, window stalls)."""
+
+    name = "hotspot"
+    key_communication = "Hotspot convergence"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        messages_per_node: int = 48,
+        message_bytes: int = 64,
+        gap_cycles: int = 60,
+        hot_fraction: float = 0.4,
+        hot_node: int = 0,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.messages_per_node = self.scaled(messages_per_node, scale)
+        self.message_bytes = int(message_bytes)
+        self.gap_cycles = int(gap_cycles)
+        self.hot_fraction = float(hot_fraction)
+        self.hot_node = int(hot_node)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rng = self.rng()
+        hot = self.hot_node % num_nodes
+        sends: List[List[Send]] = [[] for _ in range(num_nodes)]
+        expect = [0] * num_nodes
+        for node in range(num_nodes):
+            for _ in range(self.messages_per_node):
+                if node != hot and rng.random() < self.hot_fraction:
+                    dest = hot
+                else:
+                    dest = _uniform_dest(rng, node, num_nodes)
+                sends[node].append(
+                    Send(dest=dest, user_bytes=self.message_bytes, gap=self.gap_cycles)
+                )
+                expect[dest] += 1
+        return [[Phase(tuple(sends[n]), expect[n])] for n in range(num_nodes)]
+
+
+@register_workload(tags=("traffic",))
+class TransposeTraffic(TrafficWorkload):
+    """Transpose-permutation traffic: node (r, c) of the near-square grid
+    streams to its transpose partner (c, r) — the worst case for
+    dimension-ordered mesh routing, where every flow crosses the
+    diagonal."""
+
+    name = "transpose"
+    key_communication = "Matrix transpose"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        messages_per_node: int = 24,
+        message_bytes: int = 256,
+        gap_cycles: int = 20,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.messages_per_node = self.scaled(messages_per_node, scale)
+        self.message_bytes = int(message_bytes)
+        self.gap_cycles = int(gap_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rows, cols = self.near_square_grid(num_nodes)
+        # Index i linearised over rows x cols maps to the same (r, c) cell
+        # of the transposed cols x rows linearisation: a true permutation
+        # of 0..n-1 for any factorisation, the classic transpose when the
+        # grid is square.  Diagonal nodes (partner == self) idle.
+        expect = [0] * num_nodes
+        partners = []
+        for node in range(num_nodes):
+            r, c = divmod(node, cols)
+            partner = c * rows + r
+            partners.append(partner)
+            if partner != node:
+                expect[partner] += self.messages_per_node
+        plans: List[List[Phase]] = []
+        for node in range(num_nodes):
+            sends = []
+            if partners[node] != node:
+                sends = [
+                    Send(
+                        dest=partners[node],
+                        user_bytes=self.message_bytes,
+                        gap=self.gap_cycles,
+                    )
+                ] * self.messages_per_node
+            plans.append([Phase(tuple(sends), expect[node])])
+        return plans
+
+
+@register_workload(tags=("traffic",))
+class BurstyTraffic(TrafficWorkload):
+    """Bursty on/off traffic: long silences punctuated by back-to-back
+    bursts to random peers — stresses queue sizing and the sliding
+    window far harder than the same load spread smoothly."""
+
+    name = "bursty"
+    key_communication = "On/off bursts"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 12345,
+        bursts: int = 6,
+        burst_length: int = 12,
+        message_bytes: int = 64,
+        off_cycles: int = 4000,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.bursts = self.scaled(bursts, scale)
+        self.burst_length = int(burst_length)
+        self.message_bytes = int(message_bytes)
+        self.off_cycles = int(off_cycles)
+
+    def plan(self, num_nodes: int) -> List[List[Phase]]:
+        rng = self.rng()
+        sends: List[List[Send]] = [[] for _ in range(num_nodes)]
+        expect = [0] * num_nodes
+        for node in range(num_nodes):
+            for burst in range(self.bursts):
+                # Desynchronised off-periods: each burst waits a jittered
+                # silence, then fires its messages back-to-back.
+                gap = rng.randrange(self.off_cycles // 2, self.off_cycles + 1)
+                for index in range(self.burst_length):
+                    dest = _uniform_dest(rng, node, num_nodes)
+                    sends[node].append(
+                        Send(
+                            dest=dest,
+                            user_bytes=self.message_bytes,
+                            gap=gap if index == 0 else 0,
+                        )
+                    )
+                    expect[dest] += 1
+        return [[Phase(tuple(sends[n]), expect[n])] for n in range(num_nodes)]
